@@ -1,0 +1,65 @@
+// ipg-bench regenerates Fig 7.1 of the paper: for the three parser
+// generators (Yacc→LALR(1), PG→conventional LR(0), IPG→lazy incremental
+// LR(0)) and the four SDF inputs it measures construct / parse ×2 /
+// modify / parse ×2 and prints the series the figure plots.
+//
+// Usage:
+//
+//	ipg-bench [-testdata dir] [-repeat n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"ipg/internal/harness"
+	"ipg/internal/sdf"
+)
+
+func main() {
+	dir := flag.String("testdata", "testdata", "directory holding the four .sdf inputs")
+	repeat := flag.Int("repeat", 5, "repetitions per cell (minimum is kept)")
+	flag.Parse()
+
+	g := sdf.MustBootstrapGrammar()
+	inputs, err := harness.LoadInputs(*dir, g.Symbols())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Fig 7.1 — construct / parse1 / parse2 / modify / parse1' / parse2'")
+	fmt.Println("(wall clock; the paper's Yacc additionally spent ~9.6s generating and")
+	fmt.Println(" compiling C per change, reported separately in EXPERIMENTS.md)")
+	fmt.Println()
+
+	for _, input := range inputs {
+		fmt.Printf("%s (%d tokens)\n", input.Name, len(input.Tokens))
+		fmt.Printf("  %-5s %12s %12s %12s %12s %12s %12s\n",
+			"", "construct", "parse1", "parse2", "modify", "parse1'", "parse2'")
+		for _, sys := range harness.Systems {
+			t, err := harness.RunBest(sys, input, *repeat)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-5s", sys)
+			for _, d := range t.ByPhase() {
+				fmt.Printf(" %12s", fmtDur(d))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	default:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	}
+}

@@ -1,0 +1,58 @@
+// ipg-dump regenerates the artifacts of Fig 4.1 for any grammar: the
+// tabular ACTION/GOTO parse table, the graph of item sets as text, and
+// optionally Graphviz DOT.
+//
+// Usage:
+//
+//	ipg-dump -grammar booleans.bnf [-lazy] [-dot]
+//
+// With -lazy the graph is shown as the lazy generator leaves it after
+// start-up (only the start state), demonstrating what "no generation
+// phase" looks like.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ipg"
+)
+
+func main() {
+	log.SetFlags(0)
+	grammarPath := flag.String("grammar", "", "BNF grammar file")
+	lazy := flag.Bool("lazy", false, "do not pregenerate; show the unexpanded graph")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of text")
+	flag.Parse()
+
+	if *grammarPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*grammarPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := ipg.ParseGrammar(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := ipg.NewParser(g, &ipg.Options{Eager: !*lazy})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *dot {
+		fmt.Print(p.DOT())
+		return
+	}
+	fmt.Println("grammar:")
+	fmt.Print(g.String())
+	fmt.Println()
+	fmt.Println("ACTION/GOTO table (Fig 4.1b):")
+	fmt.Println(p.TableString())
+	fmt.Println("graph of item sets (Fig 4.1c):")
+	fmt.Print(p.GraphString())
+}

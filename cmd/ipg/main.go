@@ -1,0 +1,183 @@
+// ipg is the command-line front end of the incremental parser generator:
+// it loads a grammar (plain BNF or an SDF definition), parses sentences,
+// and supports interactive grammar modification — the workflow of the
+// paper's interactive language definition environment.
+//
+// Usage:
+//
+//	ipg -grammar booleans.bnf -parse "true or false"
+//	ipg -grammar Exp.sdf -text "1 + 2 * 3"
+//	ipg -grammar booleans.bnf -repl
+//
+// REPL commands:
+//
+//	<sentence>        parse space-separated terminals
+//	:add <rule>       add a BNF rule incrementally
+//	:delete <rule>    delete a BNF rule incrementally
+//	:stats            show table coverage
+//	:table            show the ACTION/GOTO table generated so far
+//	:graph            show the graph of item sets
+//	:quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ipg"
+)
+
+func main() {
+	log.SetFlags(0)
+	grammarPath := flag.String("grammar", "", "grammar file (.sdf = SDF definition, anything else = BNF)")
+	start := flag.String("start", "", "start sort for SDF grammars (default: first function's result)")
+	parse := flag.String("parse", "", "sentence of space-separated terminal names to parse")
+	text := flag.String("text", "", "source text to scan and parse (SDF grammars only)")
+	repl := flag.Bool("repl", false, "interactive session")
+	showTrees := flag.Bool("trees", true, "print parse trees")
+	maxTrees := flag.Int("max-trees", 4, "maximum trees to print")
+	loadTable := flag.String("load-table", "", "resume from a saved parse table (BNF grammars only)")
+	saveTable := flag.String("save-table", "", "persist the (possibly partial) parse table on exit")
+	flag.Parse()
+
+	if *grammarPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*grammarPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var p *ipg.Parser
+	if strings.HasSuffix(*grammarPath, ".sdf") {
+		p, err = ipg.LoadSDF(string(src), *start, nil)
+	} else {
+		var g *ipg.Grammar
+		g, err = ipg.ParseGrammar(string(src))
+		if err == nil {
+			if *loadTable != "" {
+				var f *os.File
+				f, err = os.Open(*loadTable)
+				if err == nil {
+					p, err = ipg.NewParserFromTable(g, f, nil)
+					f.Close()
+				}
+			} else {
+				p, err = ipg.NewParser(g, nil)
+			}
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *saveTable != "" {
+		defer func() {
+			f, err := os.Create(*saveTable)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer f.Close()
+			if err := p.SaveTable(f); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
+
+	report := func(res ipg.Result) {
+		fmt.Println("accepted:", res.Accepted)
+		if res.Accepted && res.Root != nil {
+			if n, err := ipg.TreeCount(res.Root); err == nil {
+				fmt.Println("parses:  ", n)
+			}
+			if *showTrees {
+				trees, err := p.Trees(res.Root, *maxTrees)
+				if err == nil {
+					for _, t := range trees {
+						fmt.Println("  ", t)
+					}
+				}
+			}
+		}
+		s := p.Stats()
+		fmt.Printf("table:    %d states, %d expanded\n", s.States, s.Complete)
+	}
+
+	switch {
+	case *text != "":
+		res, err := p.ParseText(*text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(res)
+	case *parse != "":
+		toks, err := p.Tokens(*parse)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.Parse(toks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(res)
+	case *repl:
+		runREPL(p, report)
+	default:
+		fmt.Printf("loaded %s: %d rules\n", *grammarPath, p.Grammar().Len())
+		fmt.Print(p.Grammar().String())
+	}
+}
+
+func runREPL(p *ipg.Parser, report func(ipg.Result)) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("ipg repl — :add/:delete/:stats/:table/:graph/:quit, anything else parses")
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ":quit":
+			return
+		case line == ":stats":
+			s := p.Stats()
+			fmt.Printf("states=%d expanded=%d initial=%d dirty=%d expansions=%d removed=%d\n",
+				s.States, s.Complete, s.Initial, s.Dirty, s.Expansions, s.StatesRemoved)
+		case line == ":table":
+			fmt.Print(p.TableString())
+		case line == ":graph":
+			fmt.Print(p.GraphString())
+		case strings.HasPrefix(line, ":add "):
+			if _, err := p.AddRulesText(strings.TrimPrefix(line, ":add ")); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case strings.HasPrefix(line, ":delete "):
+			if err := p.DeleteRulesText(strings.TrimPrefix(line, ":delete ")); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case strings.HasPrefix(line, ":"):
+			fmt.Println("unknown command", line)
+		default:
+			toks, err := p.Tokens(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			res, err := p.Parse(toks)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			report(res)
+		}
+		fmt.Print("> ")
+	}
+}

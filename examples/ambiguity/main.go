@@ -1,0 +1,72 @@
+// Ambiguity shows the parallel parser on a densely ambiguous grammar:
+// the number of parses of 'true or true or ... or true' grows as the
+// Catalan numbers, yet the GSS engine's shared parse forest stays small.
+// The copying engine of the paper (PAR-PARSE) is run alongside to show
+// the cost of not sharing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ipg"
+)
+
+func main() {
+	g, err := ipg.ParseGrammar(`
+START ::= B
+B ::= "true"
+B ::= B "or" B
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ors  parses     forest-nodes  gss-reduces  copying-reduces")
+	for n := 1; n <= 9; n++ {
+		input := "true" + strings.Repeat(" or true", n)
+
+		gp, err := ipg.NewParser(g.Clone(), &ipg.Options{Engine: ipg.GSS})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gres, err := gp.Parse(gp.MustTokens(input))
+		if err != nil {
+			log.Fatal(err)
+		}
+		count, err := ipg.TreeCount(gres.Root)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		copying := "-"
+		if n <= 7 { // the copying engine is exponential; keep it small
+			cp, err := ipg.NewParser(g.Clone(), &ipg.Options{Engine: ipg.Copying})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cres, err := cp.Parse(cp.MustTokens(input))
+			if err != nil {
+				log.Fatal(err)
+			}
+			copying = fmt.Sprintf("%d", cres.Stats.Reduces)
+		}
+		fmt.Printf("%3d  %9d  %12d  %11d  %15s\n",
+			n, count, gres.Forest.NodeCount(), gres.Stats.Reduces, copying)
+	}
+
+	fmt.Println("\nthe two parses of 'true or true or true':")
+	p, _ := ipg.NewParser(g.Clone(), nil)
+	res, err := p.Parse(p.MustTokens("true or true or true"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trees, err := p.Trees(res.Root, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tr := range trees {
+		fmt.Println("  ", tr)
+	}
+}

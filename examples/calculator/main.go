@@ -1,0 +1,112 @@
+// Calculator loads an SDF definition with priorities and associativity
+// declarations, parses expressions with the generated scanner/parser
+// pair, applies the disambiguation filters, and evaluates the single
+// surviving tree — the complete ISG/IPG/SDF pipeline on one page.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"ipg"
+)
+
+func main() {
+	path := "testdata/Calc.sdf"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("%v (run from the repository root)", err)
+	}
+	p, err := ipg.LoadSDF(string(src), "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, expr := range []string{
+		"1 + 2 * 3",
+		"2 ^ 3 ^ 2",
+		"(1 + 2) * 3",
+		"8 - 4 - 2",
+		"10 / 2 - 3",
+	} {
+		syms, toks, err := p.ScanText(expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.Parse(syms)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Disambiguate(&res); err != nil {
+			log.Fatal(err)
+		}
+		if !res.Accepted {
+			fmt.Printf("%-14s => parse error\n", expr)
+			continue
+		}
+		if n, _ := ipg.TreeCount(res.Root); n != 1 {
+			fmt.Printf("%-14s => %d parses left after disambiguation!\n", expr, n)
+			continue
+		}
+		v, err := eval(p, toks, res.Root)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s => %-5g %s\n", expr, v, p.TreeString(res.Root))
+	}
+}
+
+// eval interprets the disambiguated tree. Leaves index into the token
+// slice, so literal texts (the NAT digits) are recovered from the input.
+func eval(p *ipg.Parser, toks []ipg.Token, n *ipg.Node) (float64, error) {
+	syms := p.Grammar().Symbols()
+	switch n.Kind() {
+	case ipg.AmbNode:
+		return eval(p, toks, n.Alts()[0])
+	case ipg.LeafNode:
+		return strconv.ParseFloat(toks[n.Pos()].Text, 64)
+	}
+	r := n.Rule()
+	kids := n.Children()
+	switch {
+	case r.Len() == 1:
+		return eval(p, toks, kids[0])
+	case r.Len() == 3 && syms.Name(r.Rhs[0]) == "(":
+		return eval(p, toks, kids[1])
+	case r.Len() == 3:
+		l, err := eval(p, toks, kids[0])
+		if err != nil {
+			return 0, err
+		}
+		rv, err := eval(p, toks, kids[2])
+		if err != nil {
+			return 0, err
+		}
+		switch syms.Name(r.Rhs[1]) {
+		case "+":
+			return l + rv, nil
+		case "-":
+			return l - rv, nil
+		case "*":
+			return l * rv, nil
+		case "/":
+			return l / rv, nil
+		case "^":
+			return pow(l, rv), nil
+		}
+	}
+	return 0, fmt.Errorf("unexpected rule %s", r.String(syms))
+}
+
+func pow(a, b float64) float64 {
+	v := 1.0
+	for i := 0; i < int(b); i++ {
+		v *= a
+	}
+	return v
+}

@@ -1,0 +1,80 @@
+// Dynsyntax replays the paper's motivating scenario (section 1): a
+// language whose syntax is developed interactively. Each user-defined
+// operator is spliced into the running parser with ADD-RULE; the
+// incremental generator invalidates only the affected parts of the parse
+// table and re-expands them by need, so earlier generation work is
+// reused.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipg"
+)
+
+func main() {
+	// The session starts with a minimal expression language...
+	g, err := ipg.ParseGrammar(`
+START ::= E
+E ::= "num"
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := ipg.NewParser(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	try := func(input string) {
+		toks, err := p.Tokens(input)
+		if err != nil {
+			// A token the grammar has never heard of: certainly rejected.
+			fmt.Printf("  parse %-24q accepted=false  (%v)\n", input, err)
+			return
+		}
+		res, err := p.Parse(toks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := p.Stats()
+		fmt.Printf("  parse %-24q accepted=%-5v  [states=%d expanded=%d removed=%d]\n",
+			input, res.Accepted, s.States, s.Complete, s.StatesRemoved)
+	}
+
+	fmt.Println("initial grammar:")
+	try("num")
+	try("num + num") // '+' unknown: rejected
+
+	// ...and the user declares new operators one by one, like OBJ or
+	// LITHE modules would.
+	steps := []string{
+		`E ::= E "+" E`,
+		`E ::= E "*" E`,
+		`E ::= "(" E ")"`,
+		`E ::= "-" E`,
+	}
+	for _, rule := range steps {
+		fmt.Printf("\nuser adds: %s\n", rule)
+		if _, err := p.AddRulesText(rule); err != nil {
+			log.Fatal(err)
+		}
+		try("num + num")
+		try("( num + - num ) * num")
+	}
+
+	// A change of mind: unary minus is removed again. Only table parts
+	// that mentioned E are invalidated; the rest survives.
+	fmt.Println("\nuser deletes: E ::= \"-\" E")
+	if err := p.DeleteRulesText(`E ::= "-" E`); err != nil {
+		log.Fatal(err)
+	}
+	try("- num")
+	try("( num + num ) * num")
+
+	fmt.Println("\nfinal table coverage:")
+	s := p.Stats()
+	fmt.Printf("  %d states, %d expanded, %d awaiting need, %d collected over the session\n",
+		s.States, s.Complete, s.Initial+s.Dirty, s.StatesRemoved)
+}

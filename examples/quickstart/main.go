@@ -1,0 +1,55 @@
+// Quickstart: define the booleans grammar of Fig 4.1, parse a sentence,
+// and watch the parse table being generated lazily while parsing runs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipg"
+)
+
+func main() {
+	g, err := ipg.ParseGrammar(`
+START ::= B
+B ::= "true" | "false"
+B ::= B "or" B
+B ::= B "and" B
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// NewParser returns immediately: no parse table is generated yet.
+	p, err := ipg.NewParser(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before parsing: %d state(s), %d expanded\n",
+		p.Stats().States, p.Stats().Complete)
+
+	res, err := p.Parse(p.MustTokens("true or false and true"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accepted:", res.Accepted)
+	n, err := ipg.TreeCount(res.Root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parses:   %d (no priorities between or/and)\n", n)
+	trees, err := p.Trees(res.Root, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tr := range trees {
+		fmt.Println("  ", tr)
+	}
+
+	s := p.Stats()
+	fmt.Printf("after parsing: %d states, %d expanded, %d still lazy\n",
+		s.States, s.Complete, s.Initial)
+	fmt.Println()
+	fmt.Println("ACTION/GOTO table generated so far ('·' rows are not yet needed):")
+	fmt.Println(p.TableString())
+}

@@ -1,0 +1,163 @@
+// Package cigale implements a trie-based parser in the style of Cigale
+// [Voi86], row four of Fig 2.1: "it builds a trie for the grammar in
+// which production rules with the same prefix share a path. During
+// parsing this trie is recursively traversed. A trie can easily be
+// extended with new syntax rules and tries for different grammars can be
+// combined just like modules."
+//
+// The accepted class is limited: left-recursive rules are rejected during
+// the traversal (the paper puts Cigale "only somewhat larger than LR(0)"
+// and notes it cannot backtrack in a general manner; this implementation
+// memoizes instead of backtracking, so the practical restriction is the
+// absence of left recursion).
+package cigale
+
+import (
+	"fmt"
+
+	"ipg/internal/grammar"
+)
+
+// node is a trie node: rules sharing a prefix share the path to it.
+type node struct {
+	// edges continue the right-hand sides, keyed by the next symbol
+	// (terminal or nonterminal).
+	edges map[grammar.Symbol]*node
+	// accepts lists the nonterminals whose complete right-hand side ends
+	// here.
+	accepts []grammar.Symbol
+	// reach is the set of nonterminals accepted at or below this node;
+	// the traversal prunes subtrees that cannot complete the nonterminal
+	// being recognized.
+	reach map[grammar.Symbol]bool
+}
+
+func newNode() *node {
+	return &node{edges: map[grammar.Symbol]*node{}, reach: map[grammar.Symbol]bool{}}
+}
+
+// Parser holds the trie and the grammar's symbol table.
+type Parser struct {
+	g    *grammar.Grammar
+	root *node
+	// rules mirrors the inserted rules for Extend deduplication.
+	inserted map[string]bool
+}
+
+// New builds the trie for all rules of g.
+func New(g *grammar.Grammar) *Parser {
+	p := &Parser{g: g, root: newNode(), inserted: map[string]bool{}}
+	for _, r := range g.Rules() {
+		p.Insert(r)
+	}
+	return p
+}
+
+// Insert adds one rule to the trie — the "easily extended with new syntax
+// rules" operation.
+func (p *Parser) Insert(r *grammar.Rule) {
+	if p.inserted[r.Key()] {
+		return
+	}
+	p.inserted[r.Key()] = true
+	cur := p.root
+	cur.reach[r.Lhs] = true
+	for _, sym := range r.Rhs {
+		next, ok := cur.edges[sym]
+		if !ok {
+			next = newNode()
+			cur.edges[sym] = next
+		}
+		cur = next
+		cur.reach[r.Lhs] = true
+	}
+	cur.accepts = append(cur.accepts, r.Lhs)
+}
+
+// Extend merges all rules of another grammar into the trie ("tries for
+// different grammars can be combined just like modules"). The grammars
+// must share a symbol table.
+func (p *Parser) Extend(other *grammar.Grammar) error {
+	if other.Symbols() != p.g.Symbols() {
+		return fmt.Errorf("cigale: Extend requires a shared symbol table")
+	}
+	for _, r := range other.Rules() {
+		p.Insert(r)
+	}
+	return nil
+}
+
+// ErrLeftRecursion is returned when recognition re-enters a nonterminal
+// at the same position — the class limitation of the trie parser.
+var ErrLeftRecursion = fmt.Errorf("cigale: left recursion detected (outside the accepted class)")
+
+// Recognize reports whether input is a sentence: the trie is recursively
+// traversed from the START nonterminal.
+func (p *Parser) Recognize(input []grammar.Symbol) (bool, error) {
+	type memoKey struct {
+		nt  grammar.Symbol
+		pos int
+	}
+	memo := map[memoKey][]int{}
+	inProgress := map[memoKey]bool{}
+	var leftRec bool
+
+	// parseNT returns all end positions of derivations of nt from pos.
+	var parseNT func(nt grammar.Symbol, pos int) []int
+	var walk func(n *node, nt grammar.Symbol, pos int, ends map[int]bool)
+
+	parseNT = func(nt grammar.Symbol, pos int) []int {
+		k := memoKey{nt, pos}
+		if ends, ok := memo[k]; ok {
+			return ends
+		}
+		if inProgress[k] {
+			leftRec = true
+			return nil
+		}
+		inProgress[k] = true
+		ends := map[int]bool{}
+		walk(p.root, nt, pos, ends)
+		delete(inProgress, k)
+		out := make([]int, 0, len(ends))
+		for e := range ends {
+			out = append(out, e)
+		}
+		memo[k] = out
+		return out
+	}
+
+	walk = func(n *node, nt grammar.Symbol, pos int, ends map[int]bool) {
+		for _, a := range n.accepts {
+			if a == nt {
+				ends[pos] = true
+			}
+		}
+		for sym, next := range n.edges {
+			if !next.reach[nt] {
+				// No rule for nt completes below this edge; skip it (it
+				// belongs to other nonterminals sharing the trie).
+				continue
+			}
+			if p.g.Symbols().Kind(sym) == grammar.Terminal {
+				if pos < len(input) && input[pos] == sym {
+					walk(next, nt, pos+1, ends)
+				}
+				continue
+			}
+			for _, mid := range parseNT(sym, pos) {
+				walk(next, nt, mid, ends)
+			}
+		}
+	}
+
+	for _, end := range parseNT(p.g.Start(), 0) {
+		if end == len(input) {
+			return true, nil
+		}
+	}
+	if leftRec {
+		return false, ErrLeftRecursion
+	}
+	return false, nil
+}

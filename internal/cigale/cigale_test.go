@@ -1,0 +1,166 @@
+package cigale
+
+import (
+	"errors"
+	"testing"
+
+	"ipg/internal/fixtures"
+	"ipg/internal/grammar"
+)
+
+const exprSrc = `
+START ::= E
+E ::= "x"
+E ::= "x" "+" E
+E ::= "(" E ")"
+`
+
+func TestRecognize(t *testing.T) {
+	g := grammar.MustParse(exprSrc)
+	p := New(g)
+	for _, tc := range []struct {
+		input string
+		want  bool
+	}{
+		{"x", true},
+		{"x + x", true},
+		{"( x + x )", true},
+		{"x +", false},
+		{"( x", false},
+		{"", false},
+	} {
+		got, err := p.Recognize(fixtures.Tokens(g, tc.input))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.input, err)
+		}
+		if got != tc.want {
+			t.Errorf("Recognize(%q) = %v, want %v", tc.input, got, tc.want)
+		}
+	}
+}
+
+func TestTriePrefixSharing(t *testing.T) {
+	// Rules "x" and "x" "+" E share the x prefix: one root edge on x.
+	g := grammar.MustParse(exprSrc)
+	p := New(g)
+	x, _ := g.Symbols().Lookup("x")
+	if len(p.root.edges) != 3 { // x, (, E? — E never starts a rule here
+		// Root edges: x (shared), ( — and E for START ::= E.
+		t.Logf("root edges: %d", len(p.root.edges))
+	}
+	xNode := p.root.edges[x]
+	if xNode == nil {
+		t.Fatal("no root edge on x")
+	}
+	// The x node both accepts E and continues with +.
+	if len(xNode.accepts) != 1 {
+		t.Errorf("x node accepts %v", xNode.accepts)
+	}
+	plus, _ := g.Symbols().Lookup("+")
+	if xNode.edges[plus] == nil {
+		t.Error("x node should continue on + (prefix sharing)")
+	}
+}
+
+func TestInsertExtendsLanguage(t *testing.T) {
+	g := grammar.MustParse(exprSrc)
+	p := New(g)
+	e, _ := g.Symbols().Lookup("E")
+	minus := g.Symbols().MustIntern("-", grammar.Terminal)
+	x, _ := g.Symbols().Lookup("x")
+	if got, err := p.Recognize(fixtures.Tokens(g, "x - x")); got || err != nil {
+		t.Fatalf("before Insert: %v %v", got, err)
+	}
+	p.Insert(grammar.NewRule(e, x, minus, e))
+	got, err := p.Recognize(fixtures.Tokens(g, "x - x + x"))
+	if err != nil || !got {
+		t.Errorf("after Insert: %v %v", got, err)
+	}
+}
+
+func TestModularComposition(t *testing.T) {
+	// "Tries for different grammars can be combined just like modules."
+	st := grammar.NewSymbolTable()
+	base, err := grammar.Parse(`
+START ::= E
+E ::= "x"
+`, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	module, err := grammar.Parse(`
+START ::= E
+E ::= "x" "+" E
+`, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(base)
+	if err := p.Extend(module); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Recognize(fixtures.Tokens(base, "x + x + x"))
+	if err != nil || !got {
+		t.Errorf("composed trie: %v %v", got, err)
+	}
+	// Different symbol tables are rejected.
+	foreign := grammar.MustParse(`START ::= "y"`)
+	if err := p.Extend(foreign); err == nil {
+		t.Error("Extend across symbol tables should fail")
+	}
+}
+
+func TestLeftRecursionDetected(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= E
+E ::= E "+" "x" | "x"
+`)
+	p := New(g)
+	// 'x + x' requires the left-recursive rule; the trie parser reports
+	// its class limitation instead of looping.
+	got, err := p.Recognize(fixtures.Tokens(g, "x + x"))
+	if got {
+		t.Fatal("left-recursive derivation should not be found")
+	}
+	if !errors.Is(err, ErrLeftRecursion) {
+		t.Fatalf("want ErrLeftRecursion, got %v", err)
+	}
+}
+
+func TestNonterminalChains(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= A
+A ::= B "a"
+B ::= C
+C ::= "c"
+`)
+	p := New(g)
+	got, err := p.Recognize(fixtures.Tokens(g, "c a"))
+	if err != nil || !got {
+		t.Errorf("chain grammar: %v %v", got, err)
+	}
+}
+
+func TestEpsilonRule(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= A "b"
+A ::= "a" | ε
+`)
+	p := New(g)
+	for _, tc := range []struct {
+		input string
+		want  bool
+	}{
+		{"a b", true},
+		{"b", true},
+		{"a", false},
+	} {
+		got, err := p.Recognize(fixtures.Tokens(g, tc.input))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.input, err)
+		}
+		if got != tc.want {
+			t.Errorf("Recognize(%q) = %v, want %v", tc.input, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"ipg/internal/lr"
+)
+
+// This file implements the garbage collection of section 6.2: dirty
+// states, reference counting with deferred removal (RE-EXPAND and
+// DECR-REFCOUNT), and the mark-and-sweep fallback for reference cycles
+// that the paper's reference counting admittedly cannot reclaim.
+
+// reExpand is RE-EXPAND (section 6.2): expand a dirty set of items like an
+// initial one, then decrease the reference count of every state the old
+// transitions referred to.
+func (gen *Generator) reExpand(s *lr.State) {
+	old := s.OldTransitions
+	s.OldTransitions = nil
+	s.OldAccept = false
+	gen.auto.Expand(s)
+	if gen.policy == PolicyRetainAll {
+		return
+	}
+	for _, succ := range old {
+		gen.decrRefCount(succ)
+	}
+}
+
+// decrRefCount is DECR-REFCOUNT (section 6.2): decrease the reference
+// count of a state; when it reaches zero the state is removed from
+// Itemsets and the counts of everything it (or its dirty history) refers
+// to are decreased as well.
+func (gen *Generator) decrRefCount(s *lr.State) {
+	s.RefCount--
+	if s.RefCount > 0 {
+		return
+	}
+	// Deferred removal fires: the state can no longer be re-linked by
+	// re-expansions, so it is dropped for good.
+	gen.auto.Remove(s)
+	switch s.Type {
+	case lr.Complete:
+		for _, succ := range s.Transitions {
+			gen.decrRefCount(succ)
+		}
+	case lr.Dirty:
+		for _, succ := range s.OldTransitions {
+			gen.decrRefCount(succ)
+		}
+	}
+	// Initial states hold no references.
+}
+
+// MarkSweep removes every state unreachable from the start state and
+// recomputes the reference counts of the survivors. Reachability follows
+// current transitions of complete states and the history of dirty states
+// (which may be re-linked by later re-expansions). This is the
+// "conventional mark-and-sweep garbage collector" the paper proposes for
+// cyclic garbage; it returns the number of states removed.
+func (gen *Generator) MarkSweep() int {
+	gen.Sweeps++
+	start := gen.auto.Start()
+	reachable := map[*lr.State]bool{start: true}
+	queue := []*lr.State{start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		visit := func(succ *lr.State) {
+			if !reachable[succ] {
+				reachable[succ] = true
+				queue = append(queue, succ)
+			}
+		}
+		for _, succ := range s.Transitions {
+			visit(succ)
+		}
+		for _, succ := range s.OldTransitions {
+			visit(succ)
+		}
+	}
+
+	removed := 0
+	for _, s := range gen.auto.States() {
+		if !reachable[s] {
+			gen.auto.Remove(s)
+			removed++
+		}
+	}
+	// Recompute reference counts of the survivors (this also repairs any
+	// drift from cycles the counts could not see).
+	for s := range reachable {
+		s.RefCount = 0
+	}
+	start.RefCount = 1 // permanent root reference
+	for s := range reachable {
+		for _, succ := range s.Transitions {
+			succ.RefCount++
+		}
+		for _, succ := range s.OldTransitions {
+			succ.RefCount++
+		}
+	}
+	return removed
+}
+
+// maybeSweep triggers MarkSweep when the fraction of dirty states exceeds
+// the configured threshold ("use a conventional mark-and-sweep garbage
+// collector when the percentage of dirty sets of items becomes too
+// high").
+func (gen *Generator) maybeSweep() {
+	total := gen.auto.Len()
+	if total == 0 {
+		return
+	}
+	_, _, dirty := gen.auto.TypeCounts()
+	if float64(dirty)/float64(total) > gen.threshold {
+		gen.MarkSweep()
+	}
+}

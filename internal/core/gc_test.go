@@ -1,0 +1,264 @@
+package core
+
+import (
+	"testing"
+
+	"ipg/internal/fixtures"
+	"ipg/internal/grammar"
+	"ipg/internal/lr"
+)
+
+// TestXorRemovesUnreusableStates reproduces the section 6.2 example: when
+// 'B ::= B xor B' is added to the fully generated booleans graph, the old
+// B-successor and the or/and result states (1, 6 and 7 in Fig 4.1) can
+// never be re-used — their kernels lack the xor item — and reference
+// counting removes them once re-expansion releases them. The or- and
+// and-states (4, 5) are re-used because their kernels are unchanged.
+func TestXorRemovesUnreusableStates(t *testing.T) {
+	g := fixtures.Booleans()
+	gen := New(g, &Options{SweepThreshold: -1})
+	gen.Pregenerate()
+
+	syms := g.Symbols()
+	b, _ := syms.Lookup("B")
+	tr, _ := syms.Lookup("true")
+	fa, _ := syms.Lookup("false")
+	or, _ := syms.Lookup("or")
+	and, _ := syms.Lookup("and")
+	s0 := gen.Start()
+	s1 := s0.Transitions[b]
+	s2 := s0.Transitions[tr]
+	s3 := s0.Transitions[fa]
+	s4 := s1.Transitions[or]
+	s5 := s1.Transitions[and]
+	s6 := s4.Transitions[b]
+	s7 := s5.Transitions[b]
+
+	if err := gen.AddRule(mustRule(t, g, "B", "B", "xor", "B")); err != nil {
+		t.Fatal(err)
+	}
+	gen.Pregenerate()
+
+	// The old states 1, 6, 7 are gone from Itemsets.
+	for _, victim := range []*lr.State{s1, s6, s7} {
+		if got, ok := gen.Automaton().Lookup(victim.Kernel); ok && got == victim {
+			t.Errorf("state %d should have been collected", victim.ID)
+		}
+	}
+	if gen.Coverage().StatesRemoved != 3 {
+		t.Errorf("StatesRemoved = %d, want 3", gen.Coverage().StatesRemoved)
+	}
+	// States 2, 3 (true/false) and 4, 5 (or/and) are re-used.
+	if s0.Transitions[tr] != s2 || s0.Transitions[fa] != s3 {
+		t.Error("true/false states should be re-used")
+	}
+	newS1 := s0.Transitions[b]
+	if newS1 == s1 {
+		t.Error("B-successor should be a new state (kernel gained the xor item)")
+	}
+	if newS1.Transitions[or] != s4 || newS1.Transitions[and] != s5 {
+		t.Error("or/and states should be re-used (kernels unchanged)")
+	}
+	// Full graph of the extended booleans: 10 states.
+	if gen.Automaton().Len() != 10 {
+		t.Errorf("extended graph has %d states, want 10\n%s",
+			gen.Automaton().Len(), gen.Automaton().Dump())
+	}
+
+	for _, input := range []string{"true xor false", "true xor true and false", "true or true xor true"} {
+		if !parse(t, gen, input) {
+			t.Errorf("%q should be accepted", input)
+		}
+	}
+}
+
+// TestCycleLeakAndMarkSweep: deleting 'B ::= B or B' strands the or-state
+// and the or-result state (4 and 6), which reference each other — a
+// reference cycle the paper's counting admittedly cannot reclaim ("our
+// implementation of garbage collection cannot yet handle circular
+// references properly"). The mark-and-sweep fallback removes them.
+func TestCycleLeakAndMarkSweep(t *testing.T) {
+	g := fixtures.Booleans()
+	gen := New(g, &Options{SweepThreshold: -1})
+	gen.Pregenerate()
+
+	syms := g.Symbols()
+	b, _ := syms.Lookup("B")
+	or, _ := syms.Lookup("or")
+	s1 := gen.Start().Transitions[b]
+	s4 := s1.Transitions[or]
+	s6 := s4.Transitions[b]
+
+	if err := gen.DeleteRule(mustRule(t, g, "B", "B", "or", "B")); err != nil {
+		t.Fatal(err)
+	}
+	gen.Pregenerate()
+
+	// The cycle 4 <-> 6 leaks under pure reference counting: both are
+	// unreachable yet still interned.
+	leaked4, ok4 := gen.Automaton().Lookup(s4.Kernel)
+	leaked6, ok6 := gen.Automaton().Lookup(s6.Kernel)
+	if !ok4 || leaked4 != s4 || !ok6 || leaked6 != s6 {
+		t.Fatalf("expected states 4 and 6 to leak before the sweep (refcounts: %d, %d)",
+			s4.RefCount, s6.RefCount)
+	}
+
+	removed := gen.MarkSweep()
+	if removed < 2 {
+		t.Errorf("MarkSweep removed %d states, want at least the 4<->6 cycle", removed)
+	}
+	if _, ok := gen.Automaton().Lookup(s4.Kernel); ok {
+		t.Error("or-state should be swept")
+	}
+	if _, ok := gen.Automaton().Lookup(s6.Kernel); ok {
+		t.Error("or-result state should be swept")
+	}
+
+	// The swept graph still parses the and-only language.
+	if !parse(t, gen, "true and false and true") {
+		t.Error("'true and false and true' should be accepted")
+	}
+	if parse(t, gen, "true or false") {
+		t.Error("'true or false' should be rejected after the deletion")
+	}
+
+	// And the graph equals a from-scratch build.
+	gen.Pregenerate()
+	eager := lr.New(g.Clone())
+	eager.GenerateAll()
+	assertEquivalentReachable(t, gen.Automaton(), eager)
+}
+
+func TestAutoSweepThreshold(t *testing.T) {
+	g := fixtures.Booleans()
+	gen := New(g, &Options{SweepThreshold: 0.2})
+	gen.Pregenerate()
+	// A modification dirtying 3 of 8 states exceeds the 0.2 threshold and
+	// triggers an automatic sweep.
+	if err := gen.AddRule(mustRule(t, g, "B", "unknown")); err != nil {
+		t.Fatal(err)
+	}
+	if gen.Sweeps == 0 {
+		t.Error("automatic mark-and-sweep should have triggered")
+	}
+	if !parse(t, gen, "unknown or true") {
+		t.Error("parse after auto-sweep failed")
+	}
+}
+
+func TestPolicyRetainAllKeepsGarbage(t *testing.T) {
+	g := fixtures.Booleans()
+	gen := New(g, &Options{Policy: PolicyRetainAll})
+	gen.Pregenerate()
+
+	if err := gen.DeleteRule(mustRule(t, g, "B", "B", "or", "B")); err != nil {
+		t.Fatal(err)
+	}
+	gen.Pregenerate()
+
+	if gen.Coverage().StatesRemoved != 0 {
+		t.Errorf("retain-all removed %d states", gen.Coverage().StatesRemoved)
+	}
+	// 8 original states: 1, 6, 7 replaced by 2 new ones (B-successor and
+	// and-result without the or item), 4 stranded but retained => 10.
+	if gen.Automaton().Len() != 10 {
+		t.Errorf("retain-all graph has %d states, want 10", gen.Automaton().Len())
+	}
+	if !parse(t, gen, "true and true") || parse(t, gen, "true or true") {
+		t.Error("retain-all parse behaviour wrong after delete")
+	}
+}
+
+func TestPolicyEagerSweepThrowsAwayTooMuch(t *testing.T) {
+	g := fixtures.Booleans()
+	gen := New(g, &Options{Policy: PolicyEagerSweep})
+	gen.Pregenerate()
+	if gen.Automaton().Len() != 8 {
+		t.Fatalf("full graph: %d states", gen.Automaton().Len())
+	}
+
+	// Invalidating the start state makes everything unreachable; eager
+	// sweeping drops the whole graph — "it is likely that too much is
+	// thrown away".
+	if err := gen.AddRule(mustRule(t, g, "B", "unknown")); err != nil {
+		t.Fatal(err)
+	}
+	if gen.Automaton().Len() != 1 {
+		t.Errorf("eager sweep retained %d states, want 1 (start only)", gen.Automaton().Len())
+	}
+	// Everything must be regenerated, but behaviour is still correct.
+	if !parse(t, gen, "unknown and true") {
+		t.Error("parse after eager sweep failed")
+	}
+	ex := gen.Coverage().Expansions
+	gen.Pregenerate()
+	if gen.Coverage().Expansions == ex {
+		// Pregenerate after the parse should still have had work left —
+		// the parse only expanded part of the graph.
+		t.Log("note: parse already expanded the full graph")
+	}
+	eager := lr.New(g.Clone())
+	eager.GenerateAll()
+	assertEquivalentReachable(t, gen.Automaton(), eager)
+}
+
+func TestRefCountsConsistentAfterModifications(t *testing.T) {
+	// After arbitrary modifications and full expansion, every interned
+	// state's reference count equals its in-degree (+1 for the start
+	// state), counting dirty history edges.
+	g := fixtures.Booleans()
+	gen := New(g, &Options{SweepThreshold: -1})
+	gen.Pregenerate()
+	mods := []struct {
+		del bool
+		r   *grammar.Rule
+	}{
+		{false, mustRule(t, g, "B", "unknown")},
+		{false, mustRule(t, g, "B", "B", "xor", "B")},
+		{true, mustRule(t, g, "B", "false")},
+		{true, mustRule(t, g, "B", "B", "xor", "B")},
+	}
+	for _, m := range mods {
+		var err error
+		if m.del {
+			err = gen.DeleteRule(m.r)
+		} else {
+			err = gen.AddRule(m.r)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.Pregenerate()
+
+		want := map[*lr.State]int{gen.Start(): 1}
+		for _, s := range gen.Automaton().States() {
+			for _, succ := range s.Transitions {
+				want[succ]++
+			}
+			for _, succ := range s.OldTransitions {
+				want[succ]++
+			}
+		}
+		for _, s := range gen.Automaton().States() {
+			if s.RefCount != want[s] {
+				t.Fatalf("after %v: state %d refcount %d, want %d\n%s",
+					m, s.ID, s.RefCount, want[s], gen.Automaton().Dump())
+			}
+		}
+	}
+}
+
+func TestMarkSweepIdempotent(t *testing.T) {
+	g := fixtures.Booleans()
+	gen := New(g, &Options{SweepThreshold: -1})
+	gen.Pregenerate()
+	if removed := gen.MarkSweep(); removed != 0 {
+		t.Errorf("sweep of fully reachable graph removed %d states", removed)
+	}
+	if removed := gen.MarkSweep(); removed != 0 {
+		t.Errorf("second sweep removed %d states", removed)
+	}
+	if !parse(t, gen, "true or false") {
+		t.Error("parse after no-op sweeps failed")
+	}
+}

@@ -1,0 +1,231 @@
+// Package core implements IPG, the lazy and incremental parser generator
+// that is the contribution of Heering, Klint & Rekers, "Incremental
+// Generation of Parsers" (CWI CS-R8822, 1988 / PLDI 1989).
+//
+// A Generator wraps the LR(0) graph of item sets of internal/lr and
+// drives it in two ways:
+//
+//   - Lazily (section 5): the graph starts with only the start state; the
+//     ACTION function expands initial states to complete states by need
+//     while the parser runs. Once all needed parts are generated, parsing
+//     is exactly as fast as with a conventionally generated table.
+//
+//   - Incrementally (section 6): AddRule and DeleteRule update the grammar
+//     and invalidate precisely the states whose closures are affected —
+//     the complete states holding a transition on the modified rule's
+//     left-hand side — by making them initial (or dirty) again. The lazy
+//     machinery re-expands them by need; everything else is reused.
+//
+// Garbage collection (section 6.2) is selectable via Policy: retain all
+// states forever, reference counting with deferred removal plus a
+// mark-and-sweep fallback for cycles, or eager sweeping after every
+// modification (the ablation the paper argues against).
+package core
+
+import (
+	"fmt"
+
+	"ipg/internal/grammar"
+	"ipg/internal/lr"
+)
+
+// Policy selects the garbage-collection strategy of section 6.2.
+type Policy uint8
+
+const (
+	// PolicyRefCount is the paper's compromise (default): modifications
+	// mark states dirty (initial with history); re-expansion releases
+	// references the new expansion no longer creates; states whose
+	// reference count reaches zero are removed, cascading. Reference
+	// cycles are reclaimed by an explicit or threshold-triggered
+	// mark-and-sweep.
+	PolicyRefCount Policy = iota
+	// PolicyRetainAll is plain section 6.1 MODIFY: affected states are
+	// made initial and nothing is ever removed. Repeated modification
+	// accumulates garbage ("we end up with too much garbage in
+	// Itemsets").
+	PolicyRetainAll
+	// PolicyEagerSweep removes all unreachable states immediately after
+	// every modification — the other horn of the paper's dilemma ("it is
+	// likely that too much is thrown away").
+	PolicyEagerSweep
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyRefCount:
+		return "refcount"
+	case PolicyRetainAll:
+		return "retain-all"
+	case PolicyEagerSweep:
+		return "eager-sweep"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Options configures a Generator.
+type Options struct {
+	// Policy is the garbage-collection strategy (default PolicyRefCount).
+	Policy Policy
+	// SweepThreshold triggers an automatic mark-and-sweep after a
+	// modification when, under PolicyRefCount, the fraction of states
+	// that are dirty or unreachable-suspect exceeds it. 0 means the
+	// default of 0.5; negative disables automatic sweeps.
+	SweepThreshold float64
+}
+
+func (o *Options) policy() Policy {
+	if o == nil {
+		return PolicyRefCount
+	}
+	return o.Policy
+}
+
+func (o *Options) sweepThreshold() float64 {
+	if o == nil || o.SweepThreshold == 0 {
+		return 0.5
+	}
+	return o.SweepThreshold
+}
+
+// Generator is the incremental parser generator IPG. It implements
+// lr.Table, so any engine of internal/glr can be driven by it directly;
+// table generation happens inside Actions, during parsing.
+//
+// All grammar modifications must go through AddRule/DeleteRule (or
+// AddGrammar); mutating the grammar behind the generator's back is a
+// programming error that Actions detects and reports by panicking.
+type Generator struct {
+	auto      *lr.Automaton
+	g         *grammar.Grammar
+	policy    Policy
+	threshold float64
+	version   uint64
+
+	// Sweeps counts mark-and-sweep passes (for the GC ablation).
+	Sweeps int
+}
+
+// New builds the first part of the graph of item sets for g — only the
+// start state, as an initial set of items (GENERATE-PARSER, section 5.1) —
+// and returns the generator ready for parsing. No table generation work
+// happens until the first Actions call.
+func New(g *grammar.Grammar, opts *Options) *Generator {
+	return NewFromAutomaton(lr.New(g), opts)
+}
+
+// NewFromAutomaton wraps an existing graph of item sets — typically one
+// reloaded with lr.Load — so a session can resume with the table parts an
+// earlier session already generated. The automaton's grammar must not
+// have been modified since the graph was built.
+func NewFromAutomaton(a *lr.Automaton, opts *Options) *Generator {
+	return &Generator{
+		auto:      a,
+		g:         a.Grammar(),
+		policy:    opts.policy(),
+		threshold: opts.sweepThreshold(),
+		version:   a.Grammar().Version(),
+	}
+}
+
+// Grammar returns the generator's grammar. Do not modify it directly; use
+// AddRule/DeleteRule.
+func (gen *Generator) Grammar() *grammar.Grammar { return gen.g }
+
+// Automaton exposes the underlying graph of item sets for inspection
+// (dump, table rendering, state counts).
+func (gen *Generator) Automaton() *lr.Automaton { return gen.auto }
+
+// Policy returns the garbage-collection policy.
+func (gen *Generator) Policy() Policy { return gen.policy }
+
+// Start implements lr.Table.
+func (gen *Generator) Start() *lr.State {
+	gen.checkVersion()
+	return gen.auto.Start()
+}
+
+// Actions implements lr.Table: the lazy ACTION of section 5.1. When the
+// state is still initial (or dirty after a modification) it is expanded
+// first; the action set is then deduced from the transitions and
+// reductions fields.
+func (gen *Generator) Actions(s *lr.State, sym grammar.Symbol) []lr.Action {
+	gen.checkVersion()
+	gen.ensureComplete(s)
+	return lr.ActionsOf(s, sym)
+}
+
+// Goto implements lr.Table. Appendix A proves GOTO is only called on
+// complete states — also under lazy generation — so no expansion happens
+// here; the invariant is checked by lr.GotoOf.
+func (gen *Generator) Goto(s *lr.State, sym grammar.Symbol) *lr.State {
+	return lr.GotoOf(s, sym)
+}
+
+// ensureComplete expands an initial or dirty state in place.
+func (gen *Generator) ensureComplete(s *lr.State) {
+	switch s.Type {
+	case lr.Complete:
+	case lr.Initial:
+		gen.auto.Expand(s)
+	case lr.Dirty:
+		gen.reExpand(s)
+	}
+}
+
+func (gen *Generator) checkVersion() {
+	if gen.g.Version() != gen.version {
+		panic(fmt.Sprintf("core: grammar modified behind the generator's back (version %d, generator saw %d); use Generator.AddRule/DeleteRule",
+			gen.g.Version(), gen.version))
+	}
+}
+
+// Pregenerate expands every state reachable from the start state,
+// producing the same table a conventional generator would (useful for
+// measuring lazy coverage and for warm-start comparisons). Unreachable
+// garbage retained by the GC policy is not expanded.
+func (gen *Generator) Pregenerate() {
+	gen.checkVersion()
+	seen := map[*lr.State]bool{}
+	queue := []*lr.State{gen.auto.Start()}
+	seen[gen.auto.Start()] = true
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		gen.ensureComplete(s)
+		for _, sym := range s.TransitionSymbols() {
+			succ := s.Transitions[sym]
+			if !seen[succ] {
+				seen[succ] = true
+				queue = append(queue, succ)
+			}
+		}
+	}
+}
+
+// CoverageStats describes how much of the parse table has been generated —
+// the measurement behind the section 5.2 claim that parsing the SDF
+// definition of SDF needs only ~60% of the SDF table.
+type CoverageStats struct {
+	// Initial, Complete, Dirty count current states by type.
+	Initial, Complete, Dirty int
+	// Expansions is the total number of EXPAND calls so far.
+	Expansions int
+	// StatesCreated / StatesRemoved track graph churn.
+	StatesCreated, StatesRemoved int
+}
+
+// Coverage reports generation progress.
+func (gen *Generator) Coverage() CoverageStats {
+	i, c, d := gen.auto.TypeCounts()
+	return CoverageStats{
+		Initial:       i,
+		Complete:      c,
+		Dirty:         d,
+		Expansions:    gen.auto.Stats.Expansions,
+		StatesCreated: gen.auto.Stats.StatesCreated,
+		StatesRemoved: gen.auto.Stats.StatesRemoved,
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"ipg/internal/grammar"
+	"ipg/internal/lr"
+)
+
+// PerSymbolGenerator is the finer-grained laziness the paper considered
+// and rejected in section 5.3: "it is unnecessary to expand an entire set
+// of items at once, since only that part has to be expanded that is
+// needed to deduce the actions for the specific symbol with which ACTION
+// was called. However, the additional administrative overhead incurred
+// (For what symbols has the set of items already been expanded? What was
+// the closure of the kernel?) turned out to be so large that no net gain
+// in efficiency was to be expected."
+//
+// This implementation exists to reproduce that ablation: it caches the
+// closure per state and materializes transitions one symbol at a time.
+// BenchmarkAblationPerSymbol compares it against the state-at-a-time
+// generator. It supports lazy generation only (no incremental
+// modification).
+type PerSymbolGenerator struct {
+	g    *grammar.Grammar
+	auto *lr.Automaton
+
+	partial map[*lr.State]*partialState
+
+	// Stats counters for the administrative-overhead comparison.
+	Closures, SymbolExpansions int
+}
+
+// partialState is the section 5.3 administration: the memoized closure
+// and the per-symbol expansion ledger.
+type partialState struct {
+	closure []lr.Item
+	done    map[grammar.Symbol]bool
+	// moved groups the closure by symbol after the dot, computed along
+	// with the closure.
+	moved map[grammar.Symbol][]lr.Item
+	// reductions and accept are derived once, with the closure.
+	reductions []*grammar.Rule
+	accept     bool
+}
+
+// NewPerSymbol returns a per-symbol lazy generator for g.
+func NewPerSymbol(g *grammar.Grammar) *PerSymbolGenerator {
+	return &PerSymbolGenerator{
+		g:       g,
+		auto:    lr.New(g),
+		partial: map[*lr.State]*partialState{},
+	}
+}
+
+// Grammar implements lr.Table.
+func (gen *PerSymbolGenerator) Grammar() *grammar.Grammar { return gen.g }
+
+// Start implements lr.Table.
+func (gen *PerSymbolGenerator) Start() *lr.State { return gen.auto.Start() }
+
+// Automaton exposes the underlying graph for statistics.
+func (gen *PerSymbolGenerator) Automaton() *lr.Automaton { return gen.auto }
+
+func (gen *PerSymbolGenerator) ensureClosure(s *lr.State) *partialState {
+	if p, ok := gen.partial[s]; ok {
+		return p
+	}
+	gen.Closures++
+	p := &partialState{
+		done:  map[grammar.Symbol]bool{},
+		moved: map[grammar.Symbol][]lr.Item{},
+	}
+	p.closure = lr.Closure(gen.g, s.Kernel)
+	for _, it := range p.closure {
+		sym := it.AfterDot()
+		if sym == grammar.NoSymbol {
+			if it.Rule.Lhs == gen.g.Start() {
+				p.accept = true
+			} else {
+				p.reductions = append(p.reductions, it.Rule)
+			}
+			continue
+		}
+		p.moved[sym] = append(p.moved[sym], it.Advance())
+	}
+	if s.Transitions == nil {
+		s.Transitions = map[grammar.Symbol]*lr.State{}
+	}
+	gen.partial[s] = p
+	return p
+}
+
+// expandSymbol materializes the transition of s on sym, if any.
+func (gen *PerSymbolGenerator) expandSymbol(s *lr.State, sym grammar.Symbol) {
+	p := gen.ensureClosure(s)
+	if p.done[sym] {
+		return
+	}
+	p.done[sym] = true
+	gen.SymbolExpansions++
+	items, ok := p.moved[sym]
+	if !ok {
+		return
+	}
+	succ := gen.auto.Intern(lr.NewKernel(items))
+	s.Transitions[sym] = succ
+	succ.RefCount++
+}
+
+// Actions implements lr.Table with symbol-granular laziness.
+func (gen *PerSymbolGenerator) Actions(s *lr.State, sym grammar.Symbol) []lr.Action {
+	p := gen.ensureClosure(s)
+	gen.expandSymbol(s, sym)
+	actions := make([]lr.Action, 0, len(p.reductions)+1)
+	for _, r := range p.reductions {
+		actions = append(actions, lr.Action{Kind: lr.Reduce, Rule: r})
+	}
+	if succ, ok := s.Transitions[sym]; ok {
+		actions = append(actions, lr.Action{Kind: lr.Shift, State: succ})
+	}
+	if sym == grammar.EOF && p.accept {
+		actions = append(actions, lr.Action{Kind: lr.Accept})
+	}
+	return actions
+}
+
+// Goto implements lr.Table. Unlike the state-at-a-time generator, GOTO
+// here may need to materialize the nonterminal transition first — more
+// of the administrative overhead the paper warns about.
+func (gen *PerSymbolGenerator) Goto(s *lr.State, sym grammar.Symbol) *lr.State {
+	gen.expandSymbol(s, sym)
+	succ, ok := s.Transitions[sym]
+	if !ok {
+		panic("core: per-symbol GOTO undefined")
+	}
+	return succ
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipg/internal/fixtures"
+	"ipg/internal/glr"
+	"ipg/internal/grammar"
+)
+
+func TestPerSymbolAcceptance(t *testing.T) {
+	g := fixtures.Booleans()
+	gen := NewPerSymbol(g)
+	for _, tc := range []struct {
+		input string
+		want  bool
+	}{
+		{"true", true},
+		{"true or false and true", true},
+		{"true or", false},
+		{"", false},
+	} {
+		got, err := glr.Recognize(gen, fixtures.Tokens(g, tc.input), glr.GSS)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.input, err)
+		}
+		if got != tc.want {
+			t.Errorf("parse(%q) = %v, want %v", tc.input, got, tc.want)
+		}
+	}
+}
+
+func TestPerSymbolIsLazier(t *testing.T) {
+	// Parsing 'true and true' must materialize strictly fewer
+	// transitions than whole-state expansion would.
+	g := fixtures.Booleans()
+	ps := NewPerSymbol(g)
+	if ok, err := glr.Recognize(ps, fixtures.Tokens(g, "true and true"), glr.GSS); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	perSymbolTransitions := 0
+	for _, s := range ps.Automaton().States() {
+		perSymbolTransitions += len(s.Transitions)
+	}
+
+	whole := New(fixtures.Booleans(), nil)
+	if ok, err := glr.Recognize(whole, fixtures.Tokens(g, "true and true"), glr.GSS); err != nil || !ok {
+		t.Fatal(ok, err)
+	}
+	wholeTransitions := 0
+	for _, s := range whole.Automaton().States() {
+		wholeTransitions += len(s.Transitions)
+	}
+	if perSymbolTransitions >= wholeTransitions {
+		t.Errorf("per-symbol created %d transitions, whole-state %d; expected fewer",
+			perSymbolTransitions, wholeTransitions)
+	}
+	// But it pays administration: closures are still one per touched
+	// state.
+	if ps.Closures == 0 || ps.SymbolExpansions <= ps.Closures {
+		t.Errorf("administration counters look wrong: closures=%d symbolExpansions=%d",
+			ps.Closures, ps.SymbolExpansions)
+	}
+}
+
+// Property: per-symbol laziness accepts exactly the same sentences as the
+// state-at-a-time lazy generator.
+func TestPerSymbolEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := grammar.Random(grammar.RandConfig{Nonterminals: 3, Terminals: 3, Rules: 6, EpsilonProb: 0.1}, rng)
+		ps := NewPerSymbol(g)
+		whole := New(g.Clone(), nil)
+		for i := 0; i < 8; i++ {
+			var input []grammar.Symbol
+			if sent, ok := g.RandomSentence(rng, 7); ok && rng.Intn(2) == 0 {
+				input = sent
+			} else {
+				terms := g.Symbols().Terminals()
+				for j := 0; j < rng.Intn(5); j++ {
+					s := terms[rng.Intn(len(terms))]
+					if s != grammar.EOF {
+						input = append(input, s)
+					}
+				}
+			}
+			a, err := glr.Recognize(ps, input, glr.GSS)
+			if err != nil {
+				t.Fatalf("seed %d per-symbol: %v", seed, err)
+			}
+			b, err := glr.Recognize(whole, input, glr.GSS)
+			if err != nil {
+				t.Fatalf("seed %d whole: %v", seed, err)
+			}
+			if a != b {
+				t.Fatalf("seed %d: per-symbol=%v whole=%v on %s",
+					seed, a, b, g.Symbols().NamesOf(input))
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

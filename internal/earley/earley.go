@@ -1,0 +1,137 @@
+// Package earley implements Earley's general context-free parsing
+// algorithm [Ear70], the grammar-driven baseline of Fig 2.1 and the
+// comparison the paper's authors wanted for section 7 but omitted ("we
+// expect Earley's algorithm to have better generation performance, but a
+// much inferior parsing performance"). There is no generation phase at
+// all: every parse step recomputes its information from the grammar,
+// which is exactly what makes the algorithm flexible but slow.
+//
+// The implementation uses the standard predictor/scanner/completer with
+// the Aycock–Horspool nullable-prediction fix, so epsilon rules are
+// handled correctly.
+package earley
+
+import (
+	"fmt"
+
+	"ipg/internal/grammar"
+)
+
+// item is a dotted rule with its origin position.
+type item struct {
+	rule   *grammar.Rule
+	dot    int
+	origin int
+}
+
+func (it item) key() string {
+	return fmt.Sprintf("%s@%d@%d", it.rule.Key(), it.dot, it.origin)
+}
+
+func (it item) atEnd() bool { return it.dot == it.rule.Len() }
+
+func (it item) afterDot() grammar.Symbol {
+	if it.atEnd() {
+		return grammar.NoSymbol
+	}
+	return it.rule.Rhs[it.dot]
+}
+
+// Stats counts parser work.
+type Stats struct {
+	// Items is the total number of Earley items created.
+	Items int
+	// Sets is the number of item sets (input length + 1).
+	Sets int
+}
+
+// Parser is an Earley recognizer for a grammar. It keeps no state between
+// parses and adapts to grammar modifications automatically — the
+// flexibility end of the Fig 2.1 spectrum.
+type Parser struct {
+	g *grammar.Grammar
+}
+
+// New returns a parser for g. No precomputation is performed beyond the
+// nullable set, which is re-derived on every parse to preserve the
+// "grammar-driven" cost model.
+func New(g *grammar.Grammar) *Parser { return &Parser{g: g} }
+
+// Recognize reports whether input (terminals, no end marker) is a
+// sentence of the grammar.
+func (p *Parser) Recognize(input []grammar.Symbol) bool {
+	ok, _ := p.recognize(input)
+	return ok
+}
+
+// RecognizeStats is Recognize with work counters.
+func (p *Parser) RecognizeStats(input []grammar.Symbol) (bool, Stats) {
+	return p.recognize(input)
+}
+
+func (p *Parser) recognize(input []grammar.Symbol) (bool, Stats) {
+	g := p.g
+	nullable := g.Nullable()
+	n := len(input)
+
+	sets := make([][]item, n+1)
+	seen := make([]map[string]bool, n+1)
+	for i := range seen {
+		seen[i] = map[string]bool{}
+	}
+	var stats Stats
+	stats.Sets = n + 1
+
+	add := func(i int, it item) {
+		k := it.key()
+		if seen[i][k] {
+			return
+		}
+		seen[i][k] = true
+		sets[i] = append(sets[i], it)
+		stats.Items++
+	}
+
+	for _, r := range g.RulesFor(g.Start()) {
+		add(0, item{rule: r, dot: 0, origin: 0})
+	}
+
+	for i := 0; i <= n; i++ {
+		// Worklist: sets[i] grows while scanning it.
+		for j := 0; j < len(sets[i]); j++ {
+			it := sets[i][j]
+			switch sym := it.afterDot(); {
+			case sym == grammar.NoSymbol:
+				// Completer: advance items in the origin set waiting on
+				// this rule's left-hand side.
+				for _, wait := range sets[it.origin] {
+					if wait.afterDot() == it.rule.Lhs {
+						add(i, item{rule: wait.rule, dot: wait.dot + 1, origin: wait.origin})
+					}
+				}
+			case g.Symbols().Kind(sym) == grammar.Nonterminal:
+				// Predictor.
+				for _, r := range g.RulesFor(sym) {
+					add(i, item{rule: r, dot: 0, origin: i})
+				}
+				// Aycock–Horspool: a nullable nonterminal may be skipped
+				// outright.
+				if nullable.Has(sym) {
+					add(i, item{rule: it.rule, dot: it.dot + 1, origin: it.origin})
+				}
+			default:
+				// Scanner.
+				if i < n && input[i] == sym {
+					add(i+1, item{rule: it.rule, dot: it.dot + 1, origin: it.origin})
+				}
+			}
+		}
+	}
+
+	for _, it := range sets[n] {
+		if it.rule.Lhs == g.Start() && it.atEnd() && it.origin == 0 {
+			return true, stats
+		}
+	}
+	return false, stats
+}

@@ -1,0 +1,139 @@
+package earley
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ipg/internal/fixtures"
+	"ipg/internal/glr"
+	"ipg/internal/grammar"
+	"ipg/internal/lr"
+)
+
+func TestBooleans(t *testing.T) {
+	g := fixtures.Booleans()
+	p := New(g)
+	for _, tc := range []struct {
+		input string
+		want  bool
+	}{
+		{"true", true},
+		{"true or false and true", true},
+		{"true or", false},
+		{"", false},
+	} {
+		if got := p.Recognize(fixtures.Tokens(g, tc.input)); got != tc.want {
+			t.Errorf("Recognize(%q) = %v, want %v", tc.input, got, tc.want)
+		}
+	}
+}
+
+func TestEpsilonAndNullable(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= A B
+A ::= "a" | ε
+B ::= "b" B | ε
+`)
+	p := New(g)
+	for _, tc := range []struct {
+		input string
+		want  bool
+	}{
+		{"", true},
+		{"a", true},
+		{"b b b", true},
+		{"a b", true},
+		{"b a", false},
+	} {
+		if got := p.Recognize(fixtures.Tokens(g, tc.input)); got != tc.want {
+			t.Errorf("Recognize(%q) = %v, want %v", tc.input, got, tc.want)
+		}
+	}
+}
+
+func TestHiddenLeftRecursion(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= S
+S ::= B S "a" | "a"
+B ::= ε
+`)
+	p := New(g)
+	for _, tc := range []struct {
+		input string
+		want  bool
+	}{
+		{"a", true},
+		{"a a a", true},
+		{"", false},
+	} {
+		if got := p.Recognize(fixtures.Tokens(g, tc.input)); got != tc.want {
+			t.Errorf("Recognize(%q) = %v, want %v", tc.input, got, tc.want)
+		}
+	}
+}
+
+func TestCyclicGrammar(t *testing.T) {
+	// Earley handles cyclic grammars (infinitely ambiguous) fine as a
+	// recognizer.
+	g := grammar.MustParse(`
+START ::= A
+A ::= A | "x"
+`)
+	p := New(g)
+	if !p.Recognize(fixtures.Tokens(g, "x")) {
+		t.Error("cyclic grammar should still recognize 'x'")
+	}
+}
+
+func TestStatsGrow(t *testing.T) {
+	g := fixtures.Booleans()
+	p := New(g)
+	_, small := p.RecognizeStats(fixtures.Tokens(g, "true"))
+	_, large := p.RecognizeStats(fixtures.Tokens(g, "true or true or true or true"))
+	if small.Items >= large.Items {
+		t.Errorf("longer input should create more items: %d vs %d", small.Items, large.Items)
+	}
+	if small.Sets != 2 {
+		t.Errorf("Sets = %d, want 2", small.Sets)
+	}
+}
+
+// Property: Earley agrees with the GSS parallel LR parser on random
+// grammars — the two general CF algorithms recognize the same language.
+func TestAgreesWithGLR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := grammar.Random(grammar.RandConfig{Nonterminals: 3, Terminals: 3, Rules: 7, EpsilonProb: 0.15}, rng)
+		p := New(g)
+		auto := lr.New(g)
+		auto.GenerateAll()
+		for i := 0; i < 10; i++ {
+			var input []grammar.Symbol
+			if sent, ok := g.RandomSentence(rng, 7); ok && rng.Intn(2) == 0 {
+				input = sent
+			} else {
+				terms := g.Symbols().Terminals()
+				for j := 0; j < rng.Intn(5); j++ {
+					s := terms[rng.Intn(len(terms))]
+					if s != grammar.EOF {
+						input = append(input, s)
+					}
+				}
+			}
+			wantEarley := p.Recognize(input)
+			gotGLR, err := glr.Recognize(auto, input, glr.GSS)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if wantEarley != gotGLR {
+				t.Fatalf("seed %d: earley=%v glr=%v on %s\n%s",
+					seed, wantEarley, gotGLR, g.Symbols().NamesOf(input), g.String())
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

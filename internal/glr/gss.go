@@ -1,0 +1,280 @@
+package glr
+
+import (
+	"sort"
+
+	"ipg/internal/forest"
+	"ipg/internal/grammar"
+	"ipg/internal/lr"
+)
+
+// The GSS engine replaces PAR-PARSE's parser copies with a graph-
+// structured stack: all simple parsers that are in the same state in the
+// same sweep share one stack node, and alternative derivations of the same
+// substring are packed locally in the parse forest. This removes the
+// exponential blowup of the copying engine on densely ambiguous inputs and
+// handles cyclic grammars (the resulting forests are cyclic; traversals
+// report them). It is the "more efficient style" alluded to in the
+// section 7 footnote.
+//
+// The implementation follows Tomita's algorithm with the conservative
+// Nozohoor-Farshi repair for edges added to already-processed nodes: when
+// a reduction creates a new edge on an existing frontier node, all pending
+// reductions of the frontier are re-examined, restricted to paths that
+// traverse the new edge. Termination needs no budget: nodes per sweep are
+// bounded by the number of states, edges by node pairs, and re-examination
+// only triggers on new edges.
+
+type gssNode struct {
+	state *lr.State
+	edges []*gssEdge
+}
+
+type gssEdge struct {
+	to *gssNode
+	// label is a forest slot (mutable single-alt ambiguity node) so that
+	// local ambiguity packing is visible to parents created earlier; nil
+	// when tree building is off.
+	label *forest.Node
+}
+
+func (n *gssNode) edgeTo(dest *gssNode) *gssEdge {
+	for _, e := range n.edges {
+		if e.to == dest {
+			return e
+		}
+	}
+	return nil
+}
+
+// frontier is the set of stack tops of one sweep, with deterministic
+// iteration order (sorted by state ID).
+type gssFrontier struct {
+	byState map[*lr.State]*gssNode
+	order   []*gssNode
+}
+
+func newFrontier() *gssFrontier {
+	return &gssFrontier{byState: map[*lr.State]*gssNode{}}
+}
+
+func (f *gssFrontier) get(s *lr.State) (*gssNode, bool) {
+	n, ok := f.byState[s]
+	return n, ok
+}
+
+func (f *gssFrontier) add(n *gssNode) {
+	f.byState[n.state] = n
+	f.order = append(f.order, n)
+	sort.Slice(f.order, func(i, j int) bool { return f.order[i].state.ID < f.order[j].state.ID })
+}
+
+func (f *gssFrontier) nodes() []*gssNode { return f.order }
+
+func (f *gssFrontier) len() int { return len(f.byState) }
+
+// pendingReduce is a deferred reduction: apply rule from node, considering
+// only paths that traverse the mustUse edge (nil = all paths).
+type pendingReduce struct {
+	node    *gssNode
+	rule    *grammar.Rule
+	mustUse *gssEdge
+}
+
+func gssParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, error) {
+	res := Result{Forest: opts.forest(), ErrorPos: -1}
+	buildTrees := opts.trees()
+
+	frontier := newFrontier()
+	startNode := &gssNode{state: tbl.Start()}
+	res.Stats.Nodes++
+	frontier.add(startNode)
+
+	var acceptNodes []*gssNode
+	// Failure diagnostics: the frontier of the last processed sweep.
+	var lastStates []*lr.State
+	lastPos := 0
+
+	for pos := 0; pos < len(input); pos++ {
+		symbol := input[pos]
+		res.Stats.Sweeps++
+		if frontier.len() > res.Stats.MaxParsers {
+			res.Stats.MaxParsers = frontier.len()
+		}
+		lastPos = pos
+
+		// Phase 1: reductions (and accept detection) to fixpoint.
+		var work []pendingReduce
+		enqueueNode := func(n *gssNode) {
+			for _, action := range tbl.Actions(n.state, symbol) {
+				switch action.Kind {
+				case lr.Reduce:
+					work = append(work, pendingReduce{node: n, rule: action.Rule})
+				case lr.Accept:
+					res.Accepted = true
+					res.Stats.Accepts++
+					opts.trace(Event{Op: "accept", Token: symbol, Pos: pos})
+					acceptNodes = append(acceptNodes, n)
+				}
+			}
+		}
+		for _, n := range frontier.nodes() {
+			enqueueNode(n)
+		}
+
+		for len(work) > 0 {
+			p := work[len(work)-1]
+			work = work[:len(work)-1]
+			res.Stats.Reduces++
+			opts.trace(Event{Op: "reduce", Token: symbol, Pos: pos, Rule: p.rule})
+
+			for _, path := range gssPaths(p.node, p.rule.Len(), p.mustUse) {
+				dest := path.dest
+				goState := tbl.Goto(dest.state, p.rule.Lhs)
+				opts.trace(Event{Op: "goto", Token: symbol, Pos: pos, State: goState})
+
+				var ruleNode *forest.Node
+				if buildTrees {
+					ruleNode = res.Forest.Rule(p.rule, path.children)
+				}
+
+				m, exists := frontier.get(goState)
+				if !exists {
+					m = &gssNode{state: goState}
+					res.Stats.Nodes++
+					frontier.add(m)
+					edge := &gssEdge{to: dest}
+					if buildTrees {
+						edge.label = res.Forest.Slot(ruleNode)
+					}
+					m.edges = append(m.edges, edge)
+					res.Stats.Edges++
+					// A brand-new node: examine its own reductions (this
+					// also expands its state under the lazy generator, so
+					// later GOTOs through it meet the Appendix A
+					// invariant).
+					enqueueNode(m)
+					continue
+				}
+				if edge := m.edgeTo(dest); edge != nil {
+					// Local ambiguity: pack into the existing slot. The
+					// hash-consed rule node makes repeated identical
+					// reductions a no-op.
+					if buildTrees {
+						res.Forest.Pack(edge.label, ruleNode)
+					}
+					continue
+				}
+				edge := &gssEdge{to: dest}
+				if buildTrees {
+					edge.label = res.Forest.Slot(ruleNode)
+				}
+				m.edges = append(m.edges, edge)
+				res.Stats.Edges++
+				// New edge on an existing node: conservatively re-examine
+				// every frontier node's reductions, restricted to paths
+				// through the new edge (Nozohoor-Farshi).
+				for _, n := range frontier.nodes() {
+					for _, action := range tbl.Actions(n.state, symbol) {
+						if action.Kind == lr.Reduce {
+							work = append(work, pendingReduce{node: n, rule: action.Rule, mustUse: edge})
+						}
+					}
+				}
+			}
+		}
+
+		// Snapshot for failure diagnostics: every frontier state has been
+		// expanded by the Actions calls above.
+		lastStates = lastStates[:0]
+		for _, n := range frontier.nodes() {
+			lastStates = append(lastStates, n.state)
+		}
+
+		// Phase 2: shifts, synchronized as in PAR-PARSE.
+		next := newFrontier()
+		var leaf *forest.Node
+		if buildTrees {
+			leaf = res.Forest.Leaf(symbol, pos)
+		}
+		for _, n := range frontier.nodes() {
+			for _, action := range tbl.Actions(n.state, symbol) {
+				if action.Kind != lr.Shift {
+					continue
+				}
+				res.Stats.Shifts++
+				opts.trace(Event{Op: "shift", Token: symbol, Pos: pos, State: action.State})
+				m, ok := next.get(action.State)
+				if !ok {
+					m = &gssNode{state: action.State}
+					res.Stats.Nodes++
+					next.add(m)
+				}
+				edge := &gssEdge{to: n}
+				if buildTrees {
+					edge.label = res.Forest.Slot(leaf)
+				}
+				m.edges = append(m.edges, edge)
+				res.Stats.Edges++
+			}
+		}
+		frontier = next
+		if frontier.len() == 0 {
+			break
+		}
+	}
+
+	if res.Accepted && buildTrees {
+		var roots []*forest.Node
+		for _, n := range acceptNodes {
+			for _, e := range n.edges {
+				roots = append(roots, e.label)
+			}
+		}
+		if len(roots) > 0 {
+			res.Root = res.Forest.Ambiguity(roots...)
+		}
+	}
+	if !res.Accepted {
+		res.ErrorPos = lastPos
+		res.Expected = expectedOf(tbl.Grammar(), lastStates)
+	}
+	return res, nil
+}
+
+// gssPath is one reduction path: the destination node (where GOTO applies)
+// and the forest labels along the way in left-to-right rule order.
+type gssPath struct {
+	dest     *gssNode
+	children []*forest.Node
+}
+
+// gssPaths enumerates all paths of exactly length edges starting at n,
+// optionally restricted to paths traversing mustUse.
+func gssPaths(n *gssNode, length int, mustUse *gssEdge) []gssPath {
+	var out []gssPath
+	// Labels are collected top-of-stack first, i.e. in reverse rule
+	// order; they are reversed on emission.
+	labels := make([]*forest.Node, 0, length)
+	var walk func(cur *gssNode, remaining int, used bool)
+	walk = func(cur *gssNode, remaining int, used bool) {
+		if remaining == 0 {
+			if mustUse != nil && !used {
+				return
+			}
+			children := make([]*forest.Node, length)
+			for i, l := range labels {
+				children[length-1-i] = l
+			}
+			out = append(out, gssPath{dest: cur, children: children})
+			return
+		}
+		for _, e := range cur.edges {
+			labels = append(labels, e.label)
+			walk(e.to, remaining-1, used || e == mustUse)
+			labels = labels[:len(labels)-1]
+		}
+	}
+	walk(n, length, false)
+	return out
+}

@@ -1,0 +1,91 @@
+package glr
+
+import (
+	"ipg/internal/forest"
+	"ipg/internal/grammar"
+	"ipg/internal/lr"
+)
+
+// lrParse is LR-PARSE (section 3.1): a simple LR parser using a single
+// stack of states. ACTION returning more than one action is an error for
+// this engine. Tree building keeps a parallel stack of forest nodes —
+// the paper omits trees from the pseudocode ("to keep things simple, we
+// do not generate parse trees") but measures with tree building on.
+func lrParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, error) {
+	res := Result{Forest: opts.forest(), ErrorPos: -1}
+	buildTrees := opts.trees()
+
+	type entry struct {
+		state *lr.State
+		node  *forest.Node
+	}
+	stack := []entry{{state: tbl.Start()}}
+
+	stackIDs := func() []int {
+		out := make([]int, len(stack))
+		for i, e := range stack {
+			out[i] = e.state.ID
+		}
+		return out
+	}
+
+	pos := 0
+	symbol := input[pos]
+	budget := opts.budget(len(input))
+	for {
+		res.Stats.Sweeps++
+		if res.Stats.Reduces > budget {
+			return res, ErrNotFinitelyAmbiguous
+		}
+		state := stack[len(stack)-1].state
+		actions := tbl.Actions(state, symbol)
+		if len(actions) == 0 {
+			// The error action: "the input read so far can never become
+			// a sentence of the language any more."
+			res.ErrorPos = pos
+			res.Expected = expectedOf(tbl.Grammar(), []*lr.State{state})
+			return res, nil
+		}
+		if len(actions) > 1 {
+			return res, ErrNondeterministic
+		}
+		switch action := actions[0]; action.Kind {
+		case lr.Shift:
+			var leaf *forest.Node
+			if buildTrees {
+				leaf = res.Forest.Leaf(symbol, pos)
+			}
+			stack = append(stack, entry{state: action.State, node: leaf})
+			opts.trace(Event{Op: "shift", Token: symbol, Pos: pos, State: action.State, Stack: stackIDs()})
+			res.Stats.Shifts++
+			pos++
+			symbol = input[pos]
+		case lr.Reduce:
+			n := action.Rule.Len()
+			var node *forest.Node
+			if buildTrees {
+				children := make([]*forest.Node, n)
+				for i := 0; i < n; i++ {
+					children[i] = stack[len(stack)-n+i].node
+				}
+				node = res.Forest.Rule(action.Rule, children)
+			}
+			stack = stack[:len(stack)-n]
+			opts.trace(Event{Op: "reduce", Token: symbol, Pos: pos, Rule: action.Rule, Stack: stackIDs()})
+			// GOTO is called on the uncovered stack top, which Appendix A
+			// proves to be complete; lr.GotoOf checks the invariant.
+			state = tbl.Goto(stack[len(stack)-1].state, action.Rule.Lhs)
+			stack = append(stack, entry{state: state, node: node})
+			opts.trace(Event{Op: "goto", Token: symbol, Pos: pos, State: state, Stack: stackIDs()})
+			res.Stats.Reduces++
+		case lr.Accept:
+			res.Accepted = true
+			res.Stats.Accepts++
+			if buildTrees {
+				res.Root = stack[len(stack)-1].node
+			}
+			opts.trace(Event{Op: "accept", Token: symbol, Pos: pos, Stack: stackIDs()})
+			return res, nil
+		}
+	}
+}

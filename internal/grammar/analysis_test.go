@@ -1,0 +1,197 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func names(t *SymbolTable, ss SymbolSet) map[string]bool {
+	out := map[string]bool{}
+	for s, ok := range ss {
+		if ok {
+			out[t.Name(s)] = true
+		}
+	}
+	return out
+}
+
+func TestReachable(t *testing.T) {
+	g := MustParse(`
+START ::= A
+A ::= "a" B
+B ::= "b"
+Dead ::= "d"
+`)
+	r := names(g.Symbols(), g.Reachable())
+	for _, want := range []string{"START", "A", "B", "a", "b"} {
+		if !r[want] {
+			t.Errorf("%s should be reachable", want)
+		}
+	}
+	if r["Dead"] || r["d"] {
+		t.Error("Dead/d should be unreachable")
+	}
+}
+
+func TestProductive(t *testing.T) {
+	g := MustParse(`
+START ::= A
+A ::= "a"
+Loop ::= Loop "x"
+`)
+	p := names(g.Symbols(), g.Productive())
+	if !p["A"] || !p["START"] {
+		t.Error("A and START should be productive")
+	}
+	if p["Loop"] {
+		t.Error("Loop should be unproductive")
+	}
+}
+
+func TestNullable(t *testing.T) {
+	g := MustParse(`
+START ::= A B
+A ::= ε
+B ::= "b" | ε
+C ::= "c"
+`)
+	n := names(g.Symbols(), g.Nullable())
+	for _, want := range []string{"A", "B", "START"} {
+		if !n[want] {
+			t.Errorf("%s should be nullable", want)
+		}
+	}
+	if n["C"] {
+		t.Error("C should not be nullable")
+	}
+}
+
+func TestFirstSets(t *testing.T) {
+	g := MustParse(`
+START ::= E
+E ::= T Etail
+Etail ::= "+" T Etail | ε
+T ::= "x" | "(" E ")"
+`)
+	first := g.FirstSets()
+	e, _ := g.Symbols().Lookup("E")
+	et, _ := g.Symbols().Lookup("Etail")
+	fe := names(g.Symbols(), first[e])
+	if !fe["x"] || !fe["("] || len(fe) != 2 {
+		t.Errorf("FIRST(E) = %v, want {x, (}", fe)
+	}
+	fet := names(g.Symbols(), first[et])
+	if !fet["+"] || len(fet) != 1 {
+		t.Errorf("FIRST(Etail) = %v, want {+}", fet)
+	}
+}
+
+func TestFollowSets(t *testing.T) {
+	g := MustParse(`
+START ::= E
+E ::= T Etail
+Etail ::= "+" T Etail | ε
+T ::= "x" | "(" E ")"
+`)
+	follow := g.FollowSets()
+	e, _ := g.Symbols().Lookup("E")
+	tt, _ := g.Symbols().Lookup("T")
+	fe := names(g.Symbols(), follow[e])
+	if !fe["$"] || !fe[")"] || len(fe) != 2 {
+		t.Errorf("FOLLOW(E) = %v, want {$, )}", fe)
+	}
+	ft := names(g.Symbols(), follow[tt])
+	if !ft["$"] || !ft[")"] || !ft["+"] || len(ft) != 3 {
+		t.Errorf("FOLLOW(T) = %v, want {$, ), +}", ft)
+	}
+}
+
+func TestFirstOfString(t *testing.T) {
+	g := MustParse(`
+START ::= A B
+A ::= "a" | ε
+B ::= "b"
+`)
+	first := g.FirstSets()
+	null := g.Nullable()
+	a, _ := g.Symbols().Lookup("A")
+	b, _ := g.Symbols().Lookup("B")
+	fs, nullable := g.FirstOfString([]Symbol{a, b}, first, null)
+	got := names(g.Symbols(), fs)
+	if !got["a"] || !got["b"] || nullable {
+		t.Errorf("FIRST(A B) = %v nullable=%v, want {a,b} false", got, nullable)
+	}
+	fs, nullable = g.FirstOfString([]Symbol{a}, first, null)
+	got = names(g.Symbols(), fs)
+	if !got["a"] || len(got) != 1 || !nullable {
+		t.Errorf("FIRST(A) = %v nullable=%v, want {a} true", got, nullable)
+	}
+	fs, nullable = g.FirstOfString(nil, first, null)
+	if len(fs) != 0 || !nullable {
+		t.Errorf("FIRST(ε) = %v nullable=%v", fs, nullable)
+	}
+}
+
+func TestReduced(t *testing.T) {
+	if !MustParse("START ::= \"x\"").Reduced() {
+		t.Error("trivial grammar should be reduced")
+	}
+	if MustParse("START ::= \"x\"\nDead ::= \"d\"").Reduced() {
+		t.Error("grammar with unreachable rule should not be reduced")
+	}
+	if MustParse("START ::= A\nA ::= A \"x\"").Reduced() {
+		t.Error("grammar with unproductive reachable nonterminal should not be reduced")
+	}
+}
+
+// Property: every sentence produced by RandomSentence uses only reachable,
+// productive machinery, and FIRST of the sentence's first symbol is
+// consistent with FIRST(START).
+func TestRandomSentenceConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(RandConfig{}, rng)
+		sent, ok := g.RandomSentence(rng, 12)
+		if !ok {
+			return true // unproductive grammar: nothing to check
+		}
+		first := g.FirstSets()
+		null := g.Nullable()
+		if len(sent) == 0 {
+			return null.Has(g.Start())
+		}
+		fs, _ := g.FirstOfString([]Symbol{g.Start()}, first, null)
+		return fs.Has(sent[0])
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nullable(START) implies RandomSentence can emit, and FIRST sets
+// only contain terminals.
+func TestFirstSetsOnlyTerminals(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(RandConfig{EpsilonProb: 0.2}, rng)
+		for _, fs := range g.FirstSets() {
+			for s := range fs {
+				if g.Symbols().Kind(s) != Terminal {
+					return false
+				}
+			}
+		}
+		for _, fs := range g.FollowSets() {
+			for s := range fs {
+				if g.Symbols().Kind(s) != Terminal {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

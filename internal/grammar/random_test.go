@@ -1,0 +1,118 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(RandConfig{}, rand.New(rand.NewSource(7)))
+	b := Random(RandConfig{}, rand.New(rand.NewSource(7)))
+	if a.String() != b.String() {
+		t.Error("Random is not deterministic for a fixed seed")
+	}
+}
+
+func TestRandomHasStart(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		g := Random(RandConfig{}, rand.New(rand.NewSource(seed)))
+		if len(g.RulesFor(g.Start())) == 0 {
+			t.Fatalf("seed %d: no START rule", seed)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomRespectsConfig(t *testing.T) {
+	cfg := RandConfig{Nonterminals: 2, Terminals: 3, Rules: 6, MaxRHS: 3}
+	g := Random(cfg, rand.New(rand.NewSource(1)))
+	for _, r := range g.Rules() {
+		if r.Lhs == g.Start() {
+			continue
+		}
+		if r.Len() > cfg.MaxRHS {
+			t.Errorf("rule %s exceeds MaxRHS", r.String(g.Symbols()))
+		}
+	}
+	// N0..N1, t0..t2, START, $
+	if g.Symbols().Len() > 2+3+2 {
+		t.Errorf("too many symbols: %d", g.Symbols().Len())
+	}
+}
+
+func TestRandomSentenceRespectsDepth(t *testing.T) {
+	g := MustParse(`
+START ::= A
+A ::= "x" | "(" A ")"
+`)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		sent, ok := g.RandomSentence(rng, 5)
+		if !ok {
+			t.Fatal("grammar is productive; sentence expected")
+		}
+		// Depth 5 allows at most 3 nesting levels: each "(A)" costs one.
+		if len(sent) > 2*5+1 {
+			t.Errorf("sentence too long for depth bound: %v", g.Symbols().NamesOf(sent))
+		}
+	}
+}
+
+func TestRandomSentenceUnproductive(t *testing.T) {
+	g := MustParse(`
+START ::= A
+A ::= A "x"
+`)
+	if _, ok := g.RandomSentence(rand.New(rand.NewSource(1)), 10); ok {
+		t.Error("unproductive grammar should yield no sentence")
+	}
+}
+
+// Property: RandomSentence output consists solely of terminals.
+func TestRandomSentenceTerminalsOnly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(RandConfig{EpsilonProb: 0.1}, rng)
+		sent, ok := g.RandomSentence(rng, 10)
+		if !ok {
+			return true
+		}
+		for _, s := range sent {
+			if g.Symbols().Kind(s) != Terminal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinHeights(t *testing.T) {
+	g := MustParse(`
+START ::= A
+A ::= B
+B ::= "b"
+Loop ::= Loop "x"
+`)
+	h := g.minHeights()
+	b, _ := g.Symbols().Lookup("B")
+	a, _ := g.Symbols().Lookup("A")
+	loop, _ := g.Symbols().Lookup("Loop")
+	if h[b] != 0 {
+		t.Errorf("minHeight(B) = %d, want 0", h[b])
+	}
+	if h[a] != 1 {
+		t.Errorf("minHeight(A) = %d, want 1", h[a])
+	}
+	if h[g.Start()] != 2 {
+		t.Errorf("minHeight(START) = %d, want 2", h[g.Start()])
+	}
+	if _, ok := h[loop]; ok {
+		t.Error("unproductive Loop should have no height")
+	}
+}

@@ -1,0 +1,111 @@
+package grammar
+
+import (
+	"testing"
+)
+
+func TestSymbolTableIntern(t *testing.T) {
+	st := NewSymbolTable()
+	a, err := st.Intern("a", Terminal)
+	if err != nil {
+		t.Fatalf("Intern a: %v", err)
+	}
+	a2, err := st.Intern("a", Terminal)
+	if err != nil {
+		t.Fatalf("re-Intern a: %v", err)
+	}
+	if a != a2 {
+		t.Errorf("interning twice gave %d and %d", a, a2)
+	}
+	b, _ := st.Intern("B", Nonterminal)
+	if a == b {
+		t.Errorf("distinct names share symbol %d", a)
+	}
+	if st.Name(a) != "a" || st.Name(b) != "B" {
+		t.Errorf("Name mismatch: %q %q", st.Name(a), st.Name(b))
+	}
+	if st.Kind(a) != Terminal || st.Kind(b) != Nonterminal {
+		t.Errorf("Kind mismatch")
+	}
+}
+
+func TestSymbolTableKindConflict(t *testing.T) {
+	st := NewSymbolTable()
+	st.MustIntern("x", Terminal)
+	if _, err := st.Intern("x", Nonterminal); err == nil {
+		t.Fatal("re-interning with different kind should fail")
+	}
+}
+
+func TestSymbolTableEOF(t *testing.T) {
+	st := NewSymbolTable()
+	s, ok := st.Lookup("$")
+	if !ok || s != EOF {
+		t.Fatalf("$ not pre-interned as EOF: %v %v", s, ok)
+	}
+	if st.Kind(EOF) != Terminal {
+		t.Error("EOF must be a terminal")
+	}
+	// EOF must be stable across tables.
+	st2 := NewSymbolTable()
+	s2, _ := st2.Lookup("$")
+	if s2 != EOF {
+		t.Error("EOF differs across tables")
+	}
+}
+
+func TestSymbolTableEmptyName(t *testing.T) {
+	st := NewSymbolTable()
+	if _, err := st.Intern("", Terminal); err == nil {
+		t.Fatal("empty name should be rejected")
+	}
+}
+
+func TestSymbolTableLookupMissing(t *testing.T) {
+	st := NewSymbolTable()
+	if _, ok := st.Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown name should report false")
+	}
+}
+
+func TestSymbolTableEnumerations(t *testing.T) {
+	st := NewSymbolTable()
+	st.MustIntern("z", Terminal)
+	st.MustIntern("A", Nonterminal)
+	st.MustIntern("a", Terminal)
+	if got := st.Len(); got != 4 { // $, z, A, a
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	terms := st.Terminals()
+	if len(terms) != 3 {
+		t.Fatalf("Terminals = %d entries, want 3", len(terms))
+	}
+	// Sorted by name: $, a, z
+	if st.Name(terms[0]) != "$" || st.Name(terms[1]) != "a" || st.Name(terms[2]) != "z" {
+		t.Errorf("Terminals not sorted by name: %v", st.NamesOf(terms))
+	}
+	nts := st.Nonterminals()
+	if len(nts) != 1 || st.Name(nts[0]) != "A" {
+		t.Errorf("Nonterminals = %v", st.NamesOf(nts))
+	}
+}
+
+func TestNameOfInvalid(t *testing.T) {
+	st := NewSymbolTable()
+	if st.Name(NoSymbol) != "<invalid>" {
+		t.Error("NoSymbol should format as <invalid>")
+	}
+	if st.Name(Symbol(999)) != "<invalid>" {
+		t.Error("out-of-range symbol should format as <invalid>")
+	}
+}
+
+func TestKindPanicsOnInvalid(t *testing.T) {
+	st := NewSymbolTable()
+	defer func() {
+		if recover() == nil {
+			t.Error("Kind(NoSymbol) should panic")
+		}
+	}()
+	st.Kind(NoSymbol)
+}

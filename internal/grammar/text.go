@@ -1,0 +1,191 @@
+package grammar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a grammar from its plain-text BNF form:
+//
+//	# comment to end of line
+//	START ::= E
+//	E ::= E "+" T | T
+//	T ::= "true" | "(" E ")"
+//	Empty ::= ε
+//
+// Double-quoted tokens (Go string syntax) are always terminals. Bare
+// identifiers are nonterminals if they occur on a left-hand side anywhere
+// in the text, and terminals otherwise. The alternative ε (or a lone
+// alternative that is empty) denotes an epsilon rule. Rules for one
+// nonterminal may be split over multiple lines by repeating the head.
+//
+// When syms is non-nil the grammar is built over that table (symbols must
+// not conflict in kind); otherwise a fresh table is created.
+func Parse(text string, syms *SymbolTable) (*Grammar, error) {
+	lines, err := splitRules(text)
+	if err != nil {
+		return nil, err
+	}
+	g := New(syms)
+	// First pass: every LHS is a nonterminal.
+	for _, ln := range lines {
+		if _, err := g.syms.Intern(ln.lhs, Nonterminal); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln.line, err)
+		}
+	}
+	// Second pass: build rules; bare RHS names default to terminal.
+	for _, ln := range lines {
+		lhs, _ := g.syms.Lookup(ln.lhs)
+		for _, alt := range ln.alts {
+			rhs := make([]Symbol, 0, len(alt))
+			for _, tok := range alt {
+				var s Symbol
+				var err error
+				switch {
+				case tok.quoted:
+					s, err = g.syms.Intern(tok.text, Terminal)
+				default:
+					if existing, ok := g.syms.Lookup(tok.text); ok {
+						s = existing
+					} else {
+						s, err = g.syms.Intern(tok.text, Terminal)
+					}
+				}
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %w", ln.line, err)
+				}
+				rhs = append(rhs, s)
+			}
+			if err := g.AddRule(NewRule(lhs, rhs...)); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln.line, err)
+			}
+		}
+	}
+	return g, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed grammars.
+func MustParse(text string) *Grammar {
+	g, err := Parse(text, nil)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type textRule struct {
+	line int
+	lhs  string
+	alts [][]textToken
+}
+
+type textToken struct {
+	text   string
+	quoted bool
+}
+
+func splitRules(text string) ([]textRule, error) {
+	var out []textRule
+	for i, raw := range strings.Split(text, "\n") {
+		line := i + 1
+		toks, err := tokenizeLine(raw, line)
+		if err != nil {
+			return nil, err
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		if len(toks) < 2 || toks[1].text != "::=" || toks[1].quoted || toks[0].quoted {
+			return nil, fmt.Errorf("line %d: expected `Name ::= ...`", line)
+		}
+		tr := textRule{line: line, lhs: toks[0].text}
+		alt := []textToken{}
+		flush := func() {
+			tr.alts = append(tr.alts, alt)
+			alt = []textToken{}
+		}
+		for _, tok := range toks[2:] {
+			if !tok.quoted && tok.text == "|" {
+				flush()
+				continue
+			}
+			if !tok.quoted && (tok.text == "ε" || tok.text == "epsilon()") {
+				continue // explicit epsilon marker contributes no symbol
+			}
+			alt = append(alt, tok)
+		}
+		flush()
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+func tokenizeLine(raw string, line int) ([]textToken, error) {
+	var toks []textToken
+	s := raw
+	for len(s) > 0 {
+		switch c := s[0]; {
+		case c == '#':
+			return toks, nil
+		case c == ' ' || c == '\t' || c == '\r':
+			s = s[1:]
+		case c == '"':
+			end := -1
+			for j := 1; j < len(s); j++ {
+				if s[j] == '\\' {
+					j++
+					continue
+				}
+				if s[j] == '"' {
+					end = j
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("line %d: unterminated string literal", line)
+			}
+			lit, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad string literal %s: %v", line, s[:end+1], err)
+			}
+			if lit == "" {
+				return nil, fmt.Errorf("line %d: empty terminal literal", line)
+			}
+			toks = append(toks, textToken{text: lit, quoted: true})
+			s = s[end+1:]
+		case c == '|':
+			toks = append(toks, textToken{text: "|"})
+			s = s[1:]
+		default:
+			j := 0
+			for j < len(s) && !strings.ContainsRune(" \t\r\"|#", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, textToken{text: s[:j]})
+			s = s[j:]
+		}
+	}
+	return toks, nil
+}
+
+// formatRuleText renders a rule in the syntax accepted by Parse:
+// terminals quoted, nonterminals bare.
+func formatRuleText(t *SymbolTable, r *Rule) string {
+	var b strings.Builder
+	b.WriteString(t.Name(r.Lhs))
+	b.WriteString(" ::=")
+	if len(r.Rhs) == 0 {
+		b.WriteString(" ε")
+		return b.String()
+	}
+	for _, s := range r.Rhs {
+		b.WriteByte(' ')
+		if t.Kind(s) == Terminal {
+			b.WriteString(strconv.Quote(t.Name(s)))
+		} else {
+			b.WriteString(t.Name(s))
+		}
+	}
+	return b.String()
+}

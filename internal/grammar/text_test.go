@@ -1,0 +1,129 @@
+package grammar
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	g, err := Parse(`
+# the booleans
+START ::= B
+B ::= "true" | "false"
+B ::= B "or" B
+`, nil)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+	or, ok := g.Symbols().Lookup("or")
+	if !ok || g.Symbols().Kind(or) != Terminal {
+		t.Error("quoted token should be a terminal")
+	}
+	b, ok := g.Symbols().Lookup("B")
+	if !ok || g.Symbols().Kind(b) != Nonterminal {
+		t.Error("LHS name should be a nonterminal")
+	}
+}
+
+func TestParseBareTerminal(t *testing.T) {
+	g, err := Parse(`START ::= id`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := g.Symbols().Lookup("id")
+	if !ok || g.Symbols().Kind(id) != Terminal {
+		t.Error("bare undefined name should default to terminal")
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	// E is used before its defining line; the two-pass reader must still
+	// classify it as a nonterminal.
+	g, err := Parse(`
+START ::= E
+E ::= "x"
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := g.Symbols().Lookup("E")
+	if g.Symbols().Kind(e) != Nonterminal {
+		t.Error("forward-referenced LHS classified as terminal")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"missing arrow", `START "x"`},
+		{"quoted lhs", `"S" ::= "x"`},
+		{"unterminated string", `START ::= "x`},
+		{"empty literal", `START ::= ""`},
+		{"start in rhs", `START ::= START "x"`},
+		{"duplicate", "START ::= \"x\"\nSTART ::= \"x\""},
+		{"bad escape", `START ::= "\q"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.text, nil); err == nil {
+				t.Errorf("Parse(%q) should fail", tc.text)
+			}
+		})
+	}
+}
+
+func TestParseQuotedSpecials(t *testing.T) {
+	g, err := Parse(`START ::= "(" "a|b" "#" ")"`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"(", "a|b", "#", ")"} {
+		if _, ok := g.Symbols().Lookup(name); !ok {
+			t.Errorf("literal %q not interned", name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `
+START ::= E
+E ::= E "+" T
+E ::= T
+T ::= "x" | "(" E ")"
+Empty ::= ε
+`
+	g, err := Parse(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Parse(g.String(), nil)
+	if err != nil {
+		t.Fatalf("reparse of String(): %v\n%s", err, g.String())
+	}
+	a := strings.Join(g.SortedRuleStrings(), "\n")
+	b := strings.Join(g2.SortedRuleStrings(), "\n")
+	if a != b {
+		t.Errorf("round trip mismatch:\n%s\n--- vs ---\n%s", a, b)
+	}
+}
+
+func TestParseIntoSharedTable(t *testing.T) {
+	st := NewSymbolTable()
+	g1, err := Parse(`START ::= "x"`, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Parse(`START ::= "x" "y"`, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, _ := g1.Symbols().Lookup("x")
+	x2, _ := g2.Symbols().Lookup("x")
+	if x1 != x2 {
+		t.Error("shared table should intern x identically")
+	}
+}

@@ -1,0 +1,203 @@
+package isg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// nfaState is one Thompson NFA state. Transitions are either epsilon
+// (eps) or labeled with a character class.
+type nfaState struct {
+	id    int
+	eps   []*nfaState
+	edges []nfaEdge
+	// accept < 0 means non-accepting; otherwise the index of the rule
+	// this state accepts.
+	accept int
+}
+
+type nfaEdge struct {
+	class CharClass
+	to    *nfaState
+}
+
+// nfa is the combined Thompson automaton for a rule set: one shared start
+// state with epsilon edges into each rule's fragment.
+type nfa struct {
+	start  *nfaState
+	states []*nfaState
+}
+
+func (n *nfa) newState() *nfaState {
+	s := &nfaState{id: len(n.states), accept: -1}
+	n.states = append(n.states, s)
+	return s
+}
+
+// buildNFA compiles the rule set. Pattern references (PatRef) are inlined;
+// reference cycles are an error (lexical syntax must be regular).
+func buildNFA(rules []Rule) (*nfa, error) {
+	byName := map[string]*Pattern{}
+	for _, r := range rules {
+		// Multiple rules for one sort: alternation. (SDF allows several
+		// functions producing one lexical sort.)
+		if prev, ok := byName[r.Sort]; ok {
+			byName[r.Sort] = Alt(prev, r.Pattern)
+		} else {
+			byName[r.Sort] = r.Pattern
+		}
+	}
+
+	n := &nfa{}
+	n.start = n.newState()
+
+	var compile func(p *Pattern, from, to *nfaState, inlining map[string]bool) error
+	compile = func(p *Pattern, from, to *nfaState, inlining map[string]bool) error {
+		switch p.Kind {
+		case PatLiteral:
+			cur := from
+			runes := []rune(p.Str)
+			for i, r := range runes {
+				next := to
+				if i < len(runes)-1 {
+					next = n.newState()
+				}
+				cur.edges = append(cur.edges, nfaEdge{class: ClassOf(r), to: next})
+				cur = next
+			}
+			if len(runes) == 0 {
+				from.eps = append(from.eps, to)
+			}
+		case PatClass:
+			if p.Class.Empty() {
+				return fmt.Errorf("isg: empty character class in pattern")
+			}
+			from.edges = append(from.edges, nfaEdge{class: p.Class, to: to})
+		case PatConcat:
+			cur := from
+			for i, sub := range p.Subs {
+				next := to
+				if i < len(p.Subs)-1 {
+					next = n.newState()
+				}
+				if err := compile(sub, cur, next, inlining); err != nil {
+					return err
+				}
+				cur = next
+			}
+			if len(p.Subs) == 0 {
+				from.eps = append(from.eps, to)
+			}
+		case PatAlt:
+			if len(p.Subs) == 0 {
+				return fmt.Errorf("isg: empty alternation")
+			}
+			for _, sub := range p.Subs {
+				if err := compile(sub, from, to, inlining); err != nil {
+					return err
+				}
+			}
+		case PatStar:
+			mid := n.newState()
+			from.eps = append(from.eps, mid)
+			mid.eps = append(mid.eps, to)
+			back := n.newState()
+			if err := compile(p.Subs[0], mid, back, inlining); err != nil {
+				return err
+			}
+			back.eps = append(back.eps, mid)
+		case PatPlus:
+			mid := n.newState()
+			back := n.newState()
+			from.eps = append(from.eps, mid)
+			if err := compile(p.Subs[0], mid, back, inlining); err != nil {
+				return err
+			}
+			back.eps = append(back.eps, mid, to)
+		case PatOpt:
+			from.eps = append(from.eps, to)
+			if err := compile(p.Subs[0], from, to, inlining); err != nil {
+				return err
+			}
+		case PatRef:
+			target, ok := byName[p.Str]
+			if !ok {
+				return fmt.Errorf("isg: reference to undefined lexical sort %q", p.Str)
+			}
+			if inlining[p.Str] {
+				return fmt.Errorf("isg: recursive lexical sort %q (lexical syntax must be regular)", p.Str)
+			}
+			inlining[p.Str] = true
+			err := compile(target, from, to, inlining)
+			delete(inlining, p.Str)
+			return err
+		default:
+			return fmt.Errorf("isg: unknown pattern kind %d", p.Kind)
+		}
+		return nil
+	}
+
+	for i, r := range rules {
+		if r.Private {
+			// Private rules only feed Ref resolution; validate them by
+			// compiling into a detached fragment.
+			frag := n.newState()
+			end := n.newState()
+			if err := compile(r.Pattern, frag, end, map[string]bool{}); err != nil {
+				return nil, fmt.Errorf("rule %s: %w", r.Sort, err)
+			}
+			continue
+		}
+		frag := n.newState()
+		acc := n.newState()
+		acc.accept = i
+		n.start.eps = append(n.start.eps, frag)
+		if err := compile(r.Pattern, frag, acc, map[string]bool{}); err != nil {
+			return nil, fmt.Errorf("rule %s: %w", r.Sort, err)
+		}
+	}
+	return n, nil
+}
+
+// epsClosure expands a state set over epsilon edges; the result is sorted
+// by id and deduplicated.
+func epsClosure(states []*nfaState) []*nfaState {
+	seen := map[int]bool{}
+	var out []*nfaState
+	var stack []*nfaState
+	push := func(s *nfaState) {
+		if !seen[s.id] {
+			seen[s.id] = true
+			out = append(out, s)
+			stack = append(stack, s)
+		}
+	}
+	for _, s := range states {
+		push(s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range s.eps {
+			push(e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// move returns the eps-closed successor set of states on rune r.
+func move(states []*nfaState, r rune) []*nfaState {
+	var next []*nfaState
+	for _, s := range states {
+		for _, e := range s.edges {
+			if e.class.Contains(r) {
+				next = append(next, e.to)
+			}
+		}
+	}
+	if len(next) == 0 {
+		return nil
+	}
+	return epsClosure(next)
+}

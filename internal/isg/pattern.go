@@ -1,0 +1,109 @@
+package isg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PatternKind tags Pattern, the regular-expression AST of lexical rules.
+// Go has no sum types; Pattern is a tagged struct.
+type PatternKind uint8
+
+const (
+	// PatLiteral matches a fixed string.
+	PatLiteral PatternKind = iota
+	// PatClass matches one rune from a character class.
+	PatClass
+	// PatConcat matches its subpatterns in sequence.
+	PatConcat
+	// PatAlt matches any one subpattern.
+	PatAlt
+	// PatStar matches zero or more repetitions of its subpattern.
+	PatStar
+	// PatPlus matches one or more repetitions.
+	PatPlus
+	// PatOpt matches zero or one occurrence.
+	PatOpt
+	// PatRef references another lexical sort by name; references are
+	// inlined at NFA construction and must not be recursive.
+	PatRef
+)
+
+// Pattern is a node of the regular-pattern AST.
+type Pattern struct {
+	Kind  PatternKind
+	Str   string     // PatLiteral text or PatRef sort name
+	Class CharClass  // PatClass
+	Subs  []*Pattern // PatConcat, PatAlt, PatStar, PatPlus, PatOpt
+}
+
+// Lit matches the exact string s.
+func Lit(s string) *Pattern { return &Pattern{Kind: PatLiteral, Str: s} }
+
+// Class matches one rune of c.
+func Class(c CharClass) *Pattern { return &Pattern{Kind: PatClass, Class: c} }
+
+// Seq matches the given patterns in order.
+func Seq(subs ...*Pattern) *Pattern { return &Pattern{Kind: PatConcat, Subs: subs} }
+
+// Alt matches any one of the given patterns.
+func Alt(subs ...*Pattern) *Pattern { return &Pattern{Kind: PatAlt, Subs: subs} }
+
+// Star matches zero or more repetitions of p.
+func Star(p *Pattern) *Pattern { return &Pattern{Kind: PatStar, Subs: []*Pattern{p}} }
+
+// Plus matches one or more repetitions of p.
+func Plus(p *Pattern) *Pattern { return &Pattern{Kind: PatPlus, Subs: []*Pattern{p}} }
+
+// Opt matches zero or one occurrence of p.
+func Opt(p *Pattern) *Pattern { return &Pattern{Kind: PatOpt, Subs: []*Pattern{p}} }
+
+// Ref references the lexical sort named name.
+func Ref(name string) *Pattern { return &Pattern{Kind: PatRef, Str: name} }
+
+// String renders the pattern for diagnostics.
+func (p *Pattern) String() string {
+	switch p.Kind {
+	case PatLiteral:
+		return fmt.Sprintf("%q", p.Str)
+	case PatClass:
+		return p.Class.String()
+	case PatRef:
+		return p.Str
+	case PatConcat:
+		parts := make([]string, len(p.Subs))
+		for i, s := range p.Subs {
+			parts[i] = s.String()
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	case PatAlt:
+		parts := make([]string, len(p.Subs))
+		for i, s := range p.Subs {
+			parts[i] = s.String()
+		}
+		return "(" + strings.Join(parts, " | ") + ")"
+	case PatStar:
+		return p.Subs[0].String() + "*"
+	case PatPlus:
+		return p.Subs[0].String() + "+"
+	case PatOpt:
+		return p.Subs[0].String() + "?"
+	default:
+		return "?"
+	}
+}
+
+// Rule is one lexical rule: a named token sort defined by a pattern.
+type Rule struct {
+	// Sort is the token sort produced (e.g. "ID", "LITERAL").
+	Sort string
+	// Pattern is the regular pattern.
+	Pattern *Pattern
+	// Layout marks the rule as layout (whitespace, comments): matches
+	// are skipped by the scanner, not emitted as tokens.
+	Layout bool
+	// Private rules never match tokens themselves; they only define the
+	// sort for Ref references from other rules (fragment rules, like the
+	// sub-sorts LETTER or COM-CHAR of Appendix B).
+	Private bool
+}

@@ -1,0 +1,65 @@
+package isg
+
+import (
+	"testing"
+)
+
+func TestPrivateRulesProduceNoTokens(t *testing.T) {
+	letter, _ := ParseClass("[a-z]")
+	rules := []Rule{
+		{Sort: "WORD", Pattern: Plus(Ref("LETTER"))},
+		{Sort: "WS", Pattern: Lit(" "), Layout: true},
+		// LETTER is longer-matching than WS on any letter, but private:
+		// it must never appear in the token stream.
+		{Sort: "LETTER", Pattern: Class(letter), Private: true},
+	}
+	sc, err := NewScanner(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks, err := sc.Scan("abc d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range toks {
+		if tk.Sort == "LETTER" {
+			t.Fatalf("private sort leaked into token stream: %+v", toks)
+		}
+	}
+	if len(toks) != 2 || toks[0].Sort != "WORD" || toks[1].Sort != "WORD" {
+		t.Errorf("tokens: %+v", toks)
+	}
+}
+
+func TestPrivateRuleStillValidated(t *testing.T) {
+	rules := []Rule{
+		{Sort: "A", Pattern: Ref("B")},
+		{Sort: "B", Pattern: Ref("B"), Private: true}, // recursive
+	}
+	if _, err := NewScanner(rules); err == nil {
+		t.Fatal("recursive private rule should be rejected")
+	}
+}
+
+func TestUnicodeScanning(t *testing.T) {
+	greek := NewCharClass(RuneRange{Lo: 'α', Hi: 'ω'})
+	rules := []Rule{
+		{Sort: "GREEK", Pattern: Plus(Class(greek))},
+		{Sort: "WS", Pattern: Lit(" "), Layout: true},
+	}
+	sc, err := NewScanner(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks, err := sc.Scan("αβγ δε")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].Text != "αβγ" || toks[1].Text != "δε" {
+		t.Errorf("tokens: %+v", toks)
+	}
+	// Byte offsets respect multi-byte runes.
+	if toks[1].Offset != len("αβγ ") {
+		t.Errorf("offset %d, want %d", toks[1].Offset, len("αβγ "))
+	}
+}

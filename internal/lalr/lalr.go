@@ -1,0 +1,301 @@
+// Package lalr implements an LALR(1) parse-table generator — the stand-in
+// for Yacc in the section 7 measurements ("Yacc uses LALR(1) tables ...
+// PG and IPG use LR(0) tables"). Lookahead sets are computed over the
+// LR(0) graph of item sets by the classical spontaneous-generation /
+// propagation algorithm (Aho, Sethi & Ullman, Compilers, alg. 4.63),
+// which is also what Yacc does.
+//
+// The generated Table implements lr.Table by filtering the LR(0)
+// reductions through the computed lookahead sets, so every engine in
+// internal/glr can be driven by it: the deterministic engine gives a
+// Yacc-like parser (and reports conflicts up front, like Yacc), while the
+// parallel engines simply split less often than with LR(0) tables.
+package lalr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ipg/internal/grammar"
+	"ipg/internal/lr"
+)
+
+// Table is an LALR(1) parse table: the LR(0) graph of item sets plus a
+// lookahead set per (state, reducible rule).
+type Table struct {
+	auto *lr.Automaton
+	// la maps state -> rule key -> lookahead terminals for the reduce.
+	la        map[*lr.State]map[string]grammar.SymbolSet
+	conflicts []Conflict
+}
+
+// Conflict is a parse-table cell with more than one action, as Yacc would
+// report it.
+type Conflict struct {
+	// State is the conflicted state.
+	State *lr.State
+	// Symbol is the lookahead terminal.
+	Symbol grammar.Symbol
+	// Kind is "shift/reduce" or "reduce/reduce".
+	Kind string
+}
+
+// Generate builds the LALR(1) table for g. The grammar is snapshotted at
+// generation time: unlike IPG, a modification requires full regeneration
+// (that asymmetry is exactly what Fig 7.1 measures).
+func Generate(g *grammar.Grammar) *Table {
+	auto := lr.New(g)
+	auto.GenerateAll()
+	t := &Table{auto: auto, la: make(map[*lr.State]map[string]grammar.SymbolSet)}
+	t.computeLookaheads()
+	t.findConflicts()
+	return t
+}
+
+// Grammar implements lr.Table.
+func (t *Table) Grammar() *grammar.Grammar { return t.auto.Grammar() }
+
+// Start implements lr.Table.
+func (t *Table) Start() *lr.State { return t.auto.Start() }
+
+// Automaton exposes the underlying LR(0) graph.
+func (t *Table) Automaton() *lr.Automaton { return t.auto }
+
+// Actions implements lr.Table: as the LR(0) automaton, but a reduce is
+// only offered when the current symbol is in the rule's lookahead set.
+func (t *Table) Actions(s *lr.State, sym grammar.Symbol) []lr.Action {
+	if s.Type != lr.Complete {
+		panic(fmt.Sprintf("lalr: Actions on %s state %d", s.Type, s.ID))
+	}
+	actions := make([]lr.Action, 0, 2)
+	if las := t.la[s]; las != nil {
+		for _, r := range s.Reductions {
+			if las[r.Key()].Has(sym) {
+				actions = append(actions, lr.Action{Kind: lr.Reduce, Rule: r})
+			}
+		}
+	}
+	if succ, ok := s.Transitions[sym]; ok {
+		actions = append(actions, lr.Action{Kind: lr.Shift, State: succ})
+	}
+	if sym == grammar.EOF && s.Accept {
+		actions = append(actions, lr.Action{Kind: lr.Accept})
+	}
+	return actions
+}
+
+// Goto implements lr.Table.
+func (t *Table) Goto(s *lr.State, sym grammar.Symbol) *lr.State {
+	return lr.GotoOf(s, sym)
+}
+
+// Conflicts returns the LALR(1) conflicts; an empty result means the
+// grammar is LALR(1) and the deterministic engine can drive the table.
+func (t *Table) Conflicts() []Conflict { return t.conflicts }
+
+// laItem is an LR(1) item: an LR(0) item plus one lookahead terminal. The
+// dummy lookahead used during propagation analysis is grammar.NoSymbol.
+type laItem struct {
+	item lr.Item
+	la   grammar.Symbol
+}
+
+// closure1 computes the LR(1) closure of items: for [A ::= α • B β, a]
+// and rule B ::= γ, add [B ::= • γ, b] for every b in FIRST(βa).
+func closure1(g *grammar.Grammar, items []laItem,
+	first map[grammar.Symbol]grammar.SymbolSet, null grammar.SymbolSet) []laItem {
+
+	type key struct {
+		ik string
+		la grammar.Symbol
+	}
+	seen := map[key]bool{}
+	var out []laItem
+	add := func(it laItem) {
+		k := key{it.item.String(g.Symbols()), it.la}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, it)
+	}
+	for _, it := range items {
+		add(it)
+	}
+	for i := 0; i < len(out); i++ {
+		it := out[i]
+		b := it.item.AfterDot()
+		if b == grammar.NoSymbol || g.Symbols().Kind(b) != grammar.Nonterminal {
+			continue
+		}
+		beta := it.item.Rule.Rhs[it.item.Dot+1:]
+		fs, betaNullable := g.FirstOfString(beta, first, null)
+		lookaheads := make([]grammar.Symbol, 0, len(fs)+1)
+		for s := range fs {
+			lookaheads = append(lookaheads, s)
+		}
+		if betaNullable {
+			lookaheads = append(lookaheads, it.la)
+		}
+		sort.Slice(lookaheads, func(x, y int) bool { return lookaheads[x] < lookaheads[y] })
+		for _, r := range g.RulesFor(b) {
+			for _, la := range lookaheads {
+				add(laItem{item: lr.NewItem(r, 0), la: la})
+			}
+		}
+	}
+	return out
+}
+
+// kernelSlot identifies a kernel item within a state.
+type kernelSlot struct {
+	state *lr.State
+	item  string // item key
+}
+
+func (t *Table) computeLookaheads() {
+	g := t.auto.Grammar()
+	first := g.FirstSets()
+	null := g.Nullable()
+
+	// lookaheads per kernel slot.
+	slotLA := map[kernelSlot]grammar.SymbolSet{}
+	// propagation edges between kernel slots.
+	propagate := map[kernelSlot][]kernelSlot{}
+
+	slotOf := func(s *lr.State, it lr.Item) kernelSlot {
+		return kernelSlot{state: s, item: it.String(g.Symbols())}
+	}
+	addLA := func(sl kernelSlot, sym grammar.Symbol) bool {
+		set, ok := slotLA[sl]
+		if !ok {
+			set = grammar.SymbolSet{}
+			slotLA[sl] = set
+		}
+		if set.Has(sym) {
+			return false
+		}
+		set[sym] = true
+		return true
+	}
+
+	states := t.auto.States()
+
+	// Initialization: $ for the start state's kernel items.
+	for _, it := range t.auto.Start().Kernel {
+		addLA(slotOf(t.auto.Start(), it), grammar.EOF)
+	}
+
+	// Discover spontaneous lookaheads and propagation links by closing
+	// each kernel item under the dummy lookahead.
+	for _, s := range states {
+		for _, kit := range s.Kernel {
+			src := slotOf(s, kit)
+			cl := closure1(g, []laItem{{item: kit, la: grammar.NoSymbol}}, first, null)
+			for _, cit := range cl {
+				x := cit.item.AfterDot()
+				if x == grammar.NoSymbol {
+					continue
+				}
+				succ, ok := s.Transitions[x]
+				if !ok {
+					continue
+				}
+				dst := slotOf(succ, cit.item.Advance())
+				if cit.la == grammar.NoSymbol {
+					propagate[src] = append(propagate[src], dst)
+				} else {
+					addLA(dst, cit.la)
+				}
+			}
+		}
+	}
+
+	// Propagate to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for src, dsts := range propagate {
+			for sym := range slotLA[src] {
+				for _, dst := range dsts {
+					if addLA(dst, sym) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Derive reduce lookaheads per state: close the kernel with its final
+	// lookaheads and collect the completed items (this also covers
+	// epsilon reductions, whose items never appear in any kernel).
+	for _, s := range states {
+		items := make([]laItem, 0, len(s.Kernel))
+		for _, kit := range s.Kernel {
+			for sym := range slotLA[slotOf(s, kit)] {
+				items = append(items, laItem{item: kit, la: sym})
+			}
+		}
+		las := map[string]grammar.SymbolSet{}
+		for _, cit := range closure1(g, items, first, null) {
+			if !cit.item.AtEnd() || cit.item.Rule.Lhs == g.Start() {
+				continue
+			}
+			set, ok := las[cit.item.Rule.Key()]
+			if !ok {
+				set = grammar.SymbolSet{}
+				las[cit.item.Rule.Key()] = set
+			}
+			set[cit.la] = true
+		}
+		t.la[s] = las
+	}
+}
+
+func (t *Table) findConflicts() {
+	g := t.auto.Grammar()
+	for _, s := range t.auto.States() {
+		las := t.la[s]
+		for _, sym := range g.Symbols().Terminals() {
+			var reduces int
+			for _, r := range s.Reductions {
+				if las[r.Key()].Has(sym) {
+					reduces++
+				}
+			}
+			_, shift := s.Transitions[sym]
+			switch {
+			case reduces > 1:
+				t.conflicts = append(t.conflicts, Conflict{State: s, Symbol: sym, Kind: "reduce/reduce"})
+			case reduces == 1 && shift:
+				t.conflicts = append(t.conflicts, Conflict{State: s, Symbol: sym, Kind: "shift/reduce"})
+			}
+		}
+	}
+}
+
+// Lookaheads returns the lookahead set for reducing rule in state s,
+// formatted for diagnostics.
+func (t *Table) Lookaheads(s *lr.State, rule *grammar.Rule) []string {
+	set := t.la[s][rule.Key()]
+	out := make([]string, 0, len(set))
+	for sym := range set {
+		out = append(out, t.Grammar().Symbols().Name(sym))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String summarizes the table: state count and conflicts.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "LALR(1) table: %d states", t.auto.Len())
+	if len(t.conflicts) > 0 {
+		fmt.Fprintf(&b, ", %d conflicts", len(t.conflicts))
+		for _, c := range t.conflicts {
+			fmt.Fprintf(&b, "\n  state %d on %q: %s", c.State.ID,
+				t.Grammar().Symbols().Name(c.Symbol), c.Kind)
+		}
+	}
+	return b.String()
+}

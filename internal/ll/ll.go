@@ -1,0 +1,159 @@
+// Package ll implements an LL(1) parser generator and two parsers driven
+// by it: a table-driven predictive parser ("an LL generator constructs a
+// parse table that is interpreted by a fixed parser") and a generated
+// recursive-descent parsing program ("a recursive descent parser
+// generator constructs a parsing program") — the second row of Fig 2.1.
+// The accepted class is limited to non-left-recursive, non-ambiguous
+// grammars, as the paper notes.
+package ll
+
+import (
+	"fmt"
+
+	"ipg/internal/grammar"
+)
+
+// Conflict is an LL(1) table cell with more than one applicable rule.
+type Conflict struct {
+	// Nonterminal and Lookahead locate the cell.
+	Nonterminal, Lookahead grammar.Symbol
+	// Rules are the competing rules.
+	Rules []*grammar.Rule
+}
+
+// Table is an LL(1) parse table M[A, a] -> rule.
+type Table struct {
+	g         *grammar.Grammar
+	m         map[grammar.Symbol]map[grammar.Symbol]*grammar.Rule
+	conflicts []Conflict
+}
+
+// Generate builds the LL(1) table for g from FIRST and FOLLOW.
+func Generate(g *grammar.Grammar) *Table {
+	t := &Table{g: g, m: map[grammar.Symbol]map[grammar.Symbol]*grammar.Rule{}}
+	first := g.FirstSets()
+	null := g.Nullable()
+	follow := g.FollowSets()
+
+	set := func(a, la grammar.Symbol, r *grammar.Rule) {
+		row, ok := t.m[a]
+		if !ok {
+			row = map[grammar.Symbol]*grammar.Rule{}
+			t.m[a] = row
+		}
+		if prev, ok := row[la]; ok && prev != r {
+			t.conflicts = append(t.conflicts, Conflict{
+				Nonterminal: a, Lookahead: la, Rules: []*grammar.Rule{prev, r},
+			})
+			return
+		}
+		row[la] = r
+	}
+
+	for _, r := range g.Rules() {
+		fs, nullableRHS := g.FirstOfString(r.Rhs, first, null)
+		for a := range fs {
+			set(r.Lhs, a, r)
+		}
+		if nullableRHS {
+			for b := range follow[r.Lhs] {
+				set(r.Lhs, b, r)
+			}
+		}
+	}
+	return t
+}
+
+// Conflicts returns the LL(1) conflicts; the grammar is LL(1) iff empty.
+func (t *Table) Conflicts() []Conflict { return t.conflicts }
+
+// Grammar returns the table's grammar.
+func (t *Table) Grammar() *grammar.Grammar { return t.g }
+
+// ErrNotLL1 is returned by parsers generated from conflicted tables.
+var ErrNotLL1 = fmt.Errorf("ll: grammar is not LL(1)")
+
+// Parse runs the table-driven predictive parser on input (terminals,
+// without end marker). It returns ErrNotLL1 when the table has conflicts.
+func (t *Table) Parse(input []grammar.Symbol) (bool, error) {
+	if len(t.conflicts) > 0 {
+		return false, ErrNotLL1
+	}
+	// Stack of grammar symbols, top at the end.
+	stack := []grammar.Symbol{t.g.Start()}
+	pos := 0
+	cur := func() grammar.Symbol {
+		if pos < len(input) {
+			return input[pos]
+		}
+		return grammar.EOF
+	}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.g.Symbols().Kind(top) == grammar.Terminal {
+			if cur() != top {
+				return false, nil
+			}
+			pos++
+			continue
+		}
+		r, ok := t.m[top][cur()]
+		if !ok {
+			return false, nil
+		}
+		for i := r.Len() - 1; i >= 0; i-- {
+			stack = append(stack, r.Rhs[i])
+		}
+	}
+	return pos == len(input), nil
+}
+
+// BuildRecursiveDescent compiles the grammar into a parsing program: one
+// Go closure per nonterminal, selected by the LL(1) table. The returned
+// function recognizes complete sentences. Construction fails with
+// ErrNotLL1 on conflicted grammars (recursive descent without backtrack
+// needs a unique prediction).
+func BuildRecursiveDescent(g *grammar.Grammar) (func([]grammar.Symbol) bool, error) {
+	t := Generate(g)
+	if len(t.conflicts) > 0 {
+		return nil, ErrNotLL1
+	}
+
+	// fns[A](input, pos) -> (newPos, ok)
+	fns := map[grammar.Symbol]func([]grammar.Symbol, int) (int, bool){}
+	for _, a := range g.Symbols().Nonterminals() {
+		a := a
+		fns[a] = func(input []grammar.Symbol, pos int) (int, bool) {
+			la := grammar.EOF
+			if pos < len(input) {
+				la = input[pos]
+			}
+			r, ok := t.m[a][la]
+			if !ok {
+				return pos, false
+			}
+			for _, sym := range r.Rhs {
+				if g.Symbols().Kind(sym) == grammar.Terminal {
+					if pos >= len(input) || input[pos] != sym {
+						return pos, false
+					}
+					pos++
+					continue
+				}
+				var matched bool
+				pos, matched = fns[sym](input, pos)
+				if !matched {
+					return pos, false
+				}
+			}
+			return pos, true
+		}
+	}
+
+	start := fns[g.Start()]
+	return func(input []grammar.Symbol) bool {
+		end, ok := start(input, 0)
+		return ok && end == len(input)
+	}, nil
+}

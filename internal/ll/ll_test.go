@@ -1,0 +1,131 @@
+package ll
+
+import (
+	"errors"
+	"testing"
+
+	"ipg/internal/fixtures"
+	"ipg/internal/grammar"
+)
+
+const llExpr = `
+START ::= E
+E ::= T Etail
+Etail ::= "+" T Etail | ε
+T ::= "x" | "(" E ")"
+`
+
+func TestLL1TableNoConflicts(t *testing.T) {
+	tbl := Generate(grammar.MustParse(llExpr))
+	if n := len(tbl.Conflicts()); n != 0 {
+		t.Fatalf("LL(1) grammar reports %d conflicts: %+v", n, tbl.Conflicts())
+	}
+}
+
+func TestPredictiveParse(t *testing.T) {
+	g := grammar.MustParse(llExpr)
+	tbl := Generate(g)
+	for _, tc := range []struct {
+		input string
+		want  bool
+	}{
+		{"x", true},
+		{"x + x + x", true},
+		{"( x + x )", true},
+		{"( x + x ) + x", true},
+		{"x +", false},
+		{"+ x", false},
+		{"( x", false},
+		{"", false},
+	} {
+		got, err := tbl.Parse(fixtures.Tokens(g, tc.input))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.input, err)
+		}
+		if got != tc.want {
+			t.Errorf("Parse(%q) = %v, want %v", tc.input, got, tc.want)
+		}
+	}
+}
+
+func TestLeftRecursionConflicts(t *testing.T) {
+	// Left-recursive grammars are never LL(1).
+	tbl := Generate(grammar.MustParse(`
+START ::= E
+E ::= E "+" "x" | "x"
+`))
+	if len(tbl.Conflicts()) == 0 {
+		t.Fatal("left-recursive grammar should report LL(1) conflicts")
+	}
+	if _, err := tbl.Parse(nil); !errors.Is(err, ErrNotLL1) {
+		t.Fatalf("Parse on conflicted table: want ErrNotLL1, got %v", err)
+	}
+}
+
+func TestAmbiguousConflicts(t *testing.T) {
+	tbl := Generate(fixtures.Booleans())
+	if len(tbl.Conflicts()) == 0 {
+		t.Fatal("ambiguous grammar should report LL(1) conflicts")
+	}
+}
+
+func TestRecursiveDescent(t *testing.T) {
+	g := grammar.MustParse(llExpr)
+	parse, err := BuildRecursiveDescent(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		input string
+		want  bool
+	}{
+		{"x + ( x + x )", true},
+		{"x x", false},
+		{"( )", false},
+	} {
+		if got := parse(fixtures.Tokens(g, tc.input)); got != tc.want {
+			t.Errorf("rd(%q) = %v, want %v", tc.input, got, tc.want)
+		}
+	}
+}
+
+func TestRecursiveDescentRejectsNonLL1(t *testing.T) {
+	if _, err := BuildRecursiveDescent(fixtures.Booleans()); !errors.Is(err, ErrNotLL1) {
+		t.Fatalf("want ErrNotLL1, got %v", err)
+	}
+}
+
+func TestTableAndRDagree(t *testing.T) {
+	g := grammar.MustParse(llExpr)
+	tbl := Generate(g)
+	rd, err := BuildRecursiveDescent(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range []string{"x", "x + x", "( ( x ) )", "x + + x", "( x ) ("} {
+		toks := fixtures.Tokens(g, input)
+		a, err := tbl.Parse(toks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := rd(toks)
+		if a != b {
+			t.Errorf("table=%v rd=%v on %q", a, b, input)
+		}
+	}
+}
+
+func TestEpsilonViaFollow(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= A "b"
+A ::= "a" | ε
+`)
+	tbl := Generate(g)
+	if len(tbl.Conflicts()) != 0 {
+		t.Fatalf("conflicts: %+v", tbl.Conflicts())
+	}
+	got, err := tbl.Parse(fixtures.Tokens(g, "b"))
+	if err != nil || !got {
+		t.Errorf("epsilon production through FOLLOW failed: %v %v", got, err)
+	}
+}

@@ -1,0 +1,285 @@
+package lr
+
+import (
+	"fmt"
+	"sort"
+
+	"ipg/internal/grammar"
+)
+
+// Table is the parser-facing view of a generated parser: the control
+// structure PAR-PARSE is driven by (section 3.2). The conventional
+// Automaton implements it directly; the lazy/incremental generator in
+// internal/core implements it by expanding states on demand inside
+// Actions.
+type Table interface {
+	// Grammar returns the grammar the table was generated from.
+	Grammar() *grammar.Grammar
+	// Start returns the state in which parsing starts.
+	Start() *State
+	// Actions returns the set of possible actions in state s on terminal
+	// sym (ACTION, section 4/5). An empty result is the error action.
+	Actions(s *State, sym grammar.Symbol) []Action
+	// Goto returns the successor of s on nonterminal sym (GOTO,
+	// section 4). Per Appendix A it must only be called on complete
+	// states; implementations check this invariant.
+	Goto(s *State, sym grammar.Symbol) *State
+}
+
+// Stats counts generator work, for the measurements of section 7.
+type Stats struct {
+	// Expansions is the number of EXPAND calls (initial/dirty state →
+	// complete state), including re-expansions.
+	Expansions int
+	// StatesCreated is the total number of states ever created,
+	// including states later removed by garbage collection.
+	StatesCreated int
+	// StatesRemoved is the number of states removed by garbage
+	// collection.
+	StatesRemoved int
+	// ClosureItems is the total number of items produced by all CLOSURE
+	// computations, a proxy for generator work.
+	ClosureItems int
+}
+
+// Automaton is the graph of item sets for a grammar, together with the
+// bookkeeping table Itemsets (here a map from canonical kernel keys to
+// states). It provides the mechanisms — state creation, CLOSURE, EXPAND —
+// shared by every generation strategy; the strategies themselves are:
+//
+//   - conventional (PG, section 4): GenerateAll, then use as a Table;
+//   - lazy / incremental (IPG, sections 5–6): internal/core drives the
+//     same automaton, expanding by need and invalidating on modification.
+type Automaton struct {
+	g      *grammar.Grammar
+	states map[string]*State // canonical kernel key -> state
+	start  *State
+	nextID int
+
+	// Stats accumulates generator work counters.
+	Stats Stats
+}
+
+// New builds the first part of the graph of item sets: only the start
+// state, with kernel {START ::= • β | START ::= β ∈ Grammar}, of type
+// initial (GENERATE-PARSER, section 5.1). No expansion happens here.
+func New(g *grammar.Grammar) *Automaton {
+	a := &Automaton{
+		g:      g,
+		states: make(map[string]*State),
+	}
+	a.start = a.Intern(StartKernel(g))
+	a.start.RefCount++ // permanent root reference
+	return a
+}
+
+// StartKernel computes the start state's kernel for the current rule set
+// of g.
+func StartKernel(g *grammar.Grammar) Kernel {
+	var items []Item
+	for _, r := range g.RulesFor(g.Start()) {
+		items = append(items, Item{Rule: r, Dot: 0})
+	}
+	return NewKernel(items)
+}
+
+// Grammar returns the automaton's grammar.
+func (a *Automaton) Grammar() *grammar.Grammar { return a.g }
+
+// Start returns the start state.
+func (a *Automaton) Start() *State { return a.start }
+
+// Len returns the number of states currently in the graph.
+func (a *Automaton) Len() int { return len(a.states) }
+
+// States returns all states sorted by ID. The slice is fresh; the states
+// are shared.
+func (a *Automaton) States() []*State {
+	out := make([]*State, 0, len(a.states))
+	for _, s := range a.states {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup returns the state with the given kernel, if present.
+func (a *Automaton) Lookup(k Kernel) (*State, bool) {
+	s, ok := a.states[k.Key()]
+	return s, ok
+}
+
+// Intern returns the state with kernel k, creating it as an initial state
+// if necessary.
+func (a *Automaton) Intern(k Kernel) *State {
+	key := k.Key()
+	if s, ok := a.states[key]; ok {
+		return s
+	}
+	s := &State{ID: a.nextID, Kernel: k, Type: Initial}
+	a.nextID++
+	a.states[key] = s
+	a.Stats.StatesCreated++
+	return s
+}
+
+// Remove deletes s from the bookkeeping table. Used by the incremental
+// generator's garbage collector; the caller is responsible for reference
+// counts.
+func (a *Automaton) Remove(s *State) {
+	key := s.Kernel.Key()
+	if a.states[key] == s {
+		delete(a.states, key)
+		a.Stats.StatesRemoved++
+	}
+}
+
+// ResetStartKernel recomputes the start state's kernel after a START-rule
+// modification (MODIFY's A = START case) and re-keys the bookkeeping
+// table. The start state object keeps its identity.
+func (a *Automaton) ResetStartKernel() {
+	delete(a.states, a.start.Kernel.Key())
+	a.start.Kernel = StartKernel(a.g)
+	// A distinct state with the new kernel may already exist (e.g. the
+	// modification re-added rules of an earlier grammar). The start state
+	// wins the key; the other state becomes unreachable garbage.
+	a.states[a.start.Kernel.Key()] = a.start
+}
+
+// Expand transforms an initial (or dirty) set of items into a complete one
+// (EXPAND, section 4): it computes the transitions and reductions fields
+// from the closure of the kernel under the current grammar. Newly created
+// successor states are returned in deterministic (first-appearance) order.
+// Reference counts of all new transition targets are incremented; callers
+// re-expanding a dirty state release the old references afterwards
+// (RE-EXPAND, section 6.2).
+func (a *Automaton) Expand(s *State) []*State {
+	cl := Closure(a.g, s.Kernel)
+	a.Stats.ClosureItems += len(cl)
+	a.Stats.Expansions++
+
+	s.Transitions = make(map[grammar.Symbol]*State)
+	s.Reductions = nil
+	s.Accept = false
+
+	// Partition the closure by the symbol after the dot, preserving
+	// first-appearance order for deterministic state numbering.
+	var order []grammar.Symbol
+	moved := make(map[grammar.Symbol][]Item)
+	for _, it := range cl {
+		sym := it.AfterDot()
+		if sym == grammar.NoSymbol {
+			// Dot at the end: accept for START, reduce otherwise.
+			if it.Rule.Lhs == a.g.Start() {
+				s.Accept = true
+			} else {
+				s.Reductions = append(s.Reductions, it.Rule)
+			}
+			continue
+		}
+		if _, ok := moved[sym]; !ok {
+			order = append(order, sym)
+		}
+		moved[sym] = append(moved[sym], it.Advance())
+	}
+
+	var created []*State
+	for _, sym := range order {
+		kernel := NewKernel(moved[sym])
+		key := kernel.Key()
+		succ, existed := a.states[key]
+		if !existed {
+			succ = a.Intern(kernel)
+			created = append(created, succ)
+		}
+		s.Transitions[sym] = succ
+		succ.RefCount++
+	}
+	s.Type = Complete
+	return created
+}
+
+// GenerateAll is the conventional GENERATE-PARSER of section 4: it expands
+// initial sets of items until none remain, building the complete graph up
+// front. States are processed in creation order, so numbering is
+// deterministic (breadth-first from the start state).
+func (a *Automaton) GenerateAll() {
+	queue := make([]*State, 0, len(a.states))
+	for _, s := range a.States() {
+		if s.Type != Complete {
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s.Type == Complete {
+			continue
+		}
+		queue = append(queue, a.Expand(s)...)
+	}
+}
+
+// ActionsOf deduces the parser actions available in a complete state from
+// its transitions and reductions fields (ACTION, section 4): reduces for
+// every completely recognized rule, a shift if a transition on sym exists,
+// and accept if the special ($ accept) transition exists and sym is $.
+func ActionsOf(s *State, sym grammar.Symbol) []Action {
+	if s.Type != Complete {
+		panic(fmt.Sprintf("lr: ActionsOf on %s state %d", s.Type, s.ID))
+	}
+	actions := make([]Action, 0, len(s.Reductions)+1)
+	for _, r := range s.Reductions {
+		actions = append(actions, Action{Kind: Reduce, Rule: r})
+	}
+	if succ, ok := s.Transitions[sym]; ok {
+		actions = append(actions, Action{Kind: Shift, State: succ})
+	}
+	if sym == grammar.EOF && s.Accept {
+		actions = append(actions, Action{Kind: Accept})
+	}
+	return actions
+}
+
+// Actions implements Table for the conventional (fully generated)
+// automaton. The state must already be complete; use the lazy generator
+// in internal/core for by-need expansion.
+func (a *Automaton) Actions(s *State, sym grammar.Symbol) []Action {
+	return ActionsOf(s, sym)
+}
+
+// Goto implements Table: the successor of s on nonterminal sym after a
+// reduction. Appendix A proves GOTO is only called on complete states;
+// Goto checks that invariant on every call, so the proof is exercised by
+// the entire test suite.
+func (a *Automaton) Goto(s *State, sym grammar.Symbol) *State {
+	return GotoOf(s, sym)
+}
+
+// GotoOf is the shared GOTO implementation; see Automaton.Goto.
+func GotoOf(s *State, sym grammar.Symbol) *State {
+	if s.Type != Complete {
+		panic(fmt.Sprintf("lr: GOTO called on %s state %d (violates Appendix A invariant)", s.Type, s.ID))
+	}
+	succ, ok := s.Transitions[sym]
+	if !ok {
+		panic(fmt.Sprintf("lr: GOTO(%d, sym %d) undefined (graph of item sets corrupt)", s.ID, sym))
+	}
+	return succ
+}
+
+// TypeCounts returns how many states are initial, complete and dirty —
+// the lazy-coverage measurement of section 5.2 reads these.
+func (a *Automaton) TypeCounts() (initial, complete, dirty int) {
+	for _, s := range a.states {
+		switch s.Type {
+		case Initial:
+			initial++
+		case Complete:
+			complete++
+		case Dirty:
+			dirty++
+		}
+	}
+	return
+}

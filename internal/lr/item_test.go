@@ -1,0 +1,177 @@
+package lr
+
+import (
+	"strings"
+	"testing"
+
+	"ipg/internal/fixtures"
+	"ipg/internal/grammar"
+)
+
+func TestItemBasics(t *testing.T) {
+	g := fixtures.Booleans()
+	b, _ := g.Symbols().Lookup("B")
+	rules := g.RulesFor(b)
+	var orRule *grammar.Rule
+	for _, r := range rules {
+		if r.Len() == 3 {
+			or, _ := g.Symbols().Lookup("or")
+			if r.Rhs[1] == or {
+				orRule = r
+			}
+		}
+	}
+	if orRule == nil {
+		t.Fatal("or rule not found")
+	}
+
+	it := NewItem(orRule, 0)
+	if it.AtEnd() {
+		t.Error("dot-0 item should not be at end")
+	}
+	if it.AfterDot() != b {
+		t.Errorf("AfterDot = %s, want B", g.Symbols().Name(it.AfterDot()))
+	}
+	it = it.Advance().Advance().Advance()
+	if !it.AtEnd() {
+		t.Error("fully advanced item should be at end")
+	}
+	if it.AfterDot() != grammar.NoSymbol {
+		t.Error("AfterDot at end should be NoSymbol")
+	}
+}
+
+func TestItemAdvancePastEnd(t *testing.T) {
+	g := fixtures.Booleans()
+	r := g.RulesFor(g.Start())[0]
+	it := NewItem(r, r.Len())
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance past end should panic")
+		}
+	}()
+	it.Advance()
+}
+
+func TestNewItemRangeCheck(t *testing.T) {
+	g := fixtures.Booleans()
+	r := g.RulesFor(g.Start())[0]
+	defer func() {
+		if recover() == nil {
+			t.Error("NewItem with out-of-range dot should panic")
+		}
+	}()
+	NewItem(r, r.Len()+1)
+}
+
+func TestItemString(t *testing.T) {
+	g := fixtures.Booleans()
+	b, _ := g.Symbols().Lookup("B")
+	var andRule *grammar.Rule
+	and, _ := g.Symbols().Lookup("and")
+	for _, r := range g.RulesFor(b) {
+		if r.Len() == 3 && r.Rhs[1] == and {
+			andRule = r
+		}
+	}
+	got := NewItem(andRule, 1).String(g.Symbols())
+	if got != "B ::= B . and B" {
+		t.Errorf("item renders as %q", got)
+	}
+	got = NewItem(andRule, 3).String(g.Symbols())
+	if got != "B ::= B and B ." {
+		t.Errorf("end item renders as %q", got)
+	}
+}
+
+func TestKernelCanonicalization(t *testing.T) {
+	g := fixtures.Booleans()
+	b, _ := g.Symbols().Lookup("B")
+	rules := g.RulesFor(b)
+	i0 := NewItem(rules[0], 0)
+	i1 := NewItem(rules[1], 0)
+
+	k1 := NewKernel([]Item{i0, i1})
+	k2 := NewKernel([]Item{i1, i0, i0}) // different order, duplicate
+	if k1.Key() != k2.Key() {
+		t.Errorf("kernels differ: %q vs %q", k1.Key(), k2.Key())
+	}
+	if len(k2) != 2 {
+		t.Errorf("duplicate not removed: %d items", len(k2))
+	}
+	if !k1.Contains(i0) || !k1.Contains(i1) {
+		t.Error("Contains failed for member items")
+	}
+}
+
+func TestKernelValueIdentityAcrossRuleObjects(t *testing.T) {
+	// Two distinct *Rule objects with equal value must produce equal
+	// kernels — the incremental generator relies on this when a rule is
+	// deleted and later re-added.
+	g := fixtures.Booleans()
+	b, _ := g.Symbols().Lookup("B")
+	tr, _ := g.Symbols().Lookup("true")
+	r1 := grammar.NewRule(b, tr)
+	r2 := grammar.NewRule(b, tr)
+	if r1 == r2 {
+		t.Fatal("test needs distinct objects")
+	}
+	k1 := NewKernel([]Item{NewItem(r1, 1)})
+	k2 := NewKernel([]Item{NewItem(r2, 1)})
+	if k1.Key() != k2.Key() {
+		t.Error("value-equal rules produced different kernel keys")
+	}
+}
+
+func TestClosureBooleans(t *testing.T) {
+	g := fixtures.Booleans()
+	cl := Closure(g, StartKernel(g))
+	// START ::= .B plus the four B rules.
+	if len(cl) != 5 {
+		var lines []string
+		for _, it := range cl {
+			lines = append(lines, it.String(g.Symbols()))
+		}
+		t.Fatalf("closure has %d items, want 5:\n%s", len(cl), strings.Join(lines, "\n"))
+	}
+	// Kernel item first.
+	if cl[0].Rule.Lhs != g.Start() {
+		t.Error("closure should preserve kernel-first order")
+	}
+}
+
+func TestClosureTerminalAfterDot(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= "x" A
+A ::= "a"
+`)
+	cl := Closure(g, StartKernel(g))
+	if len(cl) != 1 {
+		t.Fatalf("dot before terminal must not close: %d items", len(cl))
+	}
+}
+
+func TestClosureChained(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= A
+A ::= B
+B ::= C
+C ::= "c"
+`)
+	cl := Closure(g, StartKernel(g))
+	if len(cl) != 4 {
+		t.Fatalf("transitive closure has %d items, want 4", len(cl))
+	}
+}
+
+func TestClosureLeftRecursive(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= E
+E ::= E "+" "x" | "x"
+`)
+	cl := Closure(g, StartKernel(g))
+	// START::=.E, E::=.E+x, E::=.x — recursion must terminate.
+	if len(cl) != 3 {
+		t.Fatalf("closure has %d items, want 3", len(cl))
+	}
+}

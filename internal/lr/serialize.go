@@ -1,0 +1,294 @@
+package lr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ipg/internal/grammar"
+)
+
+// This file implements a textual persistence format for graphs of item
+// sets, so generated (or partially generated!) parse tables survive
+// process restarts — an interactive environment can resume a session
+// without regenerating the table parts its inputs already paid for.
+//
+// Format (line-oriented):
+//
+//	ipg-table v1
+//	start <id>
+//	state <id> <initial|complete>
+//	k <dot> <lhs> <rhs...>          (kernel item; symbols by name)
+//	r <lhs> <rhs...>                (reduction)
+//	a                               (accept transition)
+//	t <sym> <stateID>               (transition)
+//
+// Rules are stored by value (left-hand side and right-hand side names)
+// and resolved against the grammar at load time, so a table only loads
+// against a grammar that still contains its rules. Dirty states are
+// saved as initial (their history is a memory-only optimization).
+
+const tableMagic = "ipg-table v1"
+
+// Save serializes the graph of item sets.
+func (a *Automaton) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	names := a.g.Symbols()
+	fmt.Fprintln(bw, tableMagic)
+	fmt.Fprintf(bw, "start %d\n", a.start.ID)
+	for _, s := range a.States() {
+		typ := "complete"
+		if s.Type != Complete {
+			typ = "initial"
+		}
+		fmt.Fprintf(bw, "state %d %s\n", s.ID, typ)
+		for _, it := range s.Kernel {
+			fmt.Fprintf(bw, "k %d %s", it.Dot, quoteName(names.Name(it.Rule.Lhs)))
+			for _, sym := range it.Rule.Rhs {
+				fmt.Fprintf(bw, " %s", quoteName(names.Name(sym)))
+			}
+			fmt.Fprintln(bw)
+		}
+		if s.Type != Complete {
+			continue
+		}
+		for _, r := range s.Reductions {
+			fmt.Fprintf(bw, "r %s", quoteName(names.Name(r.Lhs)))
+			for _, sym := range r.Rhs {
+				fmt.Fprintf(bw, " %s", quoteName(names.Name(sym)))
+			}
+			fmt.Fprintln(bw)
+		}
+		if s.Accept {
+			fmt.Fprintln(bw, "a")
+		}
+		for _, sym := range s.TransitionSymbols() {
+			fmt.Fprintf(bw, "t %s %d\n", quoteName(names.Name(sym)), s.Transitions[sym].ID)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load deserializes a graph of item sets against g, which must contain
+// every rule the table references. Reference counts are recomputed.
+func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() || sc.Text() != tableMagic {
+		return nil, fmt.Errorf("lr: not an ipg table (missing %q header)", tableMagic)
+	}
+
+	a := &Automaton{g: g, states: make(map[string]*State)}
+	byID := map[int]*State{}
+	type pendingTrans struct {
+		from *State
+		sym  grammar.Symbol
+		to   int
+	}
+	var trans []pendingTrans
+	var cur *State
+	startID := -1
+	line := 1
+
+	lookupSym := func(name string) (grammar.Symbol, error) {
+		s, ok := g.Symbols().Lookup(name)
+		if !ok {
+			return grammar.NoSymbol, fmt.Errorf("lr: line %d: unknown symbol %q", line, name)
+		}
+		return s, nil
+	}
+	lookupRule := func(fields []string) (*grammar.Rule, error) {
+		lhs, err := lookupSym(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		rhs := make([]grammar.Symbol, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			s, err := lookupSym(f)
+			if err != nil {
+				return nil, err
+			}
+			rhs = append(rhs, s)
+		}
+		probe := grammar.NewRule(lhs, rhs...)
+		rule, ok := g.Lookup(probe)
+		if !ok {
+			return nil, fmt.Errorf("lr: line %d: rule %s not in grammar", line, probe.String(g.Symbols()))
+		}
+		return rule, nil
+	}
+
+	var kernelItems []Item
+	flushKernel := func() {
+		if cur == nil {
+			return
+		}
+		cur.Kernel = NewKernel(kernelItems)
+		kernelItems = nil
+	}
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields, err := splitQuoted(text)
+		if err != nil {
+			return nil, fmt.Errorf("lr: line %d: %v", line, err)
+		}
+		switch fields[0] {
+		case "start":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("lr: line %d: malformed start", line)
+			}
+			startID, err = strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("lr: line %d: %v", line, err)
+			}
+		case "state":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("lr: line %d: malformed state", line)
+			}
+			flushKernel()
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("lr: line %d: %v", line, err)
+			}
+			cur = &State{ID: id}
+			if fields[2] == "complete" {
+				cur.Type = Complete
+				cur.Transitions = map[grammar.Symbol]*State{}
+			}
+			if byID[id] != nil {
+				return nil, fmt.Errorf("lr: line %d: duplicate state %d", line, id)
+			}
+			byID[id] = cur
+			if id >= a.nextID {
+				a.nextID = id + 1
+			}
+			a.Stats.StatesCreated++
+		case "k":
+			if cur == nil || len(fields) < 3 {
+				return nil, fmt.Errorf("lr: line %d: kernel item outside state", line)
+			}
+			dot, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("lr: line %d: %v", line, err)
+			}
+			rule, err := lookupRule(fields[2:])
+			if err != nil {
+				return nil, err
+			}
+			if dot < 0 || dot > rule.Len() {
+				return nil, fmt.Errorf("lr: line %d: dot %d out of range", line, dot)
+			}
+			kernelItems = append(kernelItems, Item{Rule: rule, Dot: dot})
+		case "r":
+			if cur == nil || cur.Type != Complete || len(fields) < 2 {
+				return nil, fmt.Errorf("lr: line %d: reduction outside complete state", line)
+			}
+			rule, err := lookupRule(fields[1:])
+			if err != nil {
+				return nil, err
+			}
+			cur.Reductions = append(cur.Reductions, rule)
+		case "a":
+			if cur == nil || cur.Type != Complete {
+				return nil, fmt.Errorf("lr: line %d: accept outside complete state", line)
+			}
+			cur.Accept = true
+		case "t":
+			if cur == nil || cur.Type != Complete || len(fields) != 3 {
+				return nil, fmt.Errorf("lr: line %d: malformed transition", line)
+			}
+			sym, err := lookupSym(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			to, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("lr: line %d: %v", line, err)
+			}
+			trans = append(trans, pendingTrans{from: cur, sym: sym, to: to})
+		default:
+			return nil, fmt.Errorf("lr: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flushKernel()
+
+	for _, s := range byID {
+		key := s.Kernel.Key()
+		if other, dup := a.states[key]; dup {
+			return nil, fmt.Errorf("lr: states %d and %d share a kernel", other.ID, s.ID)
+		}
+		a.states[key] = s
+	}
+	for _, pt := range trans {
+		to, ok := byID[pt.to]
+		if !ok {
+			return nil, fmt.Errorf("lr: transition to unknown state %d", pt.to)
+		}
+		pt.from.Transitions[pt.sym] = to
+		to.RefCount++
+	}
+	start, ok := byID[startID]
+	if !ok {
+		return nil, fmt.Errorf("lr: start state %d missing", startID)
+	}
+	a.start = start
+	start.RefCount++
+	return a, nil
+}
+
+// quoteName escapes a symbol name for the table format (names may
+// contain spaces, e.g. separated-list auxiliaries).
+func quoteName(name string) string { return strconv.Quote(name) }
+
+// splitQuoted splits a line into the directive word followed by quoted
+// or plain fields.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for len(s) > 0 {
+		switch s[0] {
+		case ' ', '\t':
+			s = s[1:]
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			field, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, field)
+			s = s[end+1:]
+		default:
+			j := strings.IndexAny(s, " \t")
+			if j < 0 {
+				out = append(out, s)
+				s = ""
+			} else {
+				out = append(out, s[:j])
+				s = s[j:]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package lr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"ipg/internal/grammar"
+)
+
+// RuleNumbers assigns each rule its position in grammar insertion order,
+// matching the "no. rule" column of Fig 4.1(a). The map is keyed by rule
+// value identity so it survives delete/re-add cycles.
+func RuleNumbers(g *grammar.Grammar) map[string]int {
+	m := make(map[string]int, g.Len())
+	for i, r := range g.Rules() {
+		m[r.Key()] = i
+	}
+	return m
+}
+
+// FormatTable renders the tabular ACTION/GOTO representation of the graph
+// of item sets, in the style of Fig 4.1(b): one row per state, ACTION
+// columns for every terminal (plus $), GOTO columns for every
+// nonterminal. Conflicting actions are joined with '/'. Initial states
+// render as "·" rows (not yet generated); dirty states as "~" rows.
+func (a *Automaton) FormatTable() string {
+	g := a.g
+	t := g.Symbols()
+	ruleNo := RuleNumbers(g)
+
+	terms := t.Terminals()
+	// $ last, like the figure.
+	sort.Slice(terms, func(i, j int) bool {
+		if (terms[i] == grammar.EOF) != (terms[j] == grammar.EOF) {
+			return terms[j] == grammar.EOF
+		}
+		return t.Name(terms[i]) < t.Name(terms[j])
+	})
+	var nonterms []grammar.Symbol
+	for _, n := range t.Nonterminals() {
+		if n != g.Start() {
+			nonterms = append(nonterms, n)
+		}
+	}
+
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "state")
+	for _, s := range terms {
+		fmt.Fprintf(w, "\t%s", t.Name(s))
+	}
+	for _, s := range nonterms {
+		fmt.Fprintf(w, "\t%s", t.Name(s))
+	}
+	fmt.Fprintln(w)
+
+	for _, s := range a.States() {
+		fmt.Fprintf(w, "%d", s.ID)
+		if s.Type != Complete {
+			mark := "·"
+			if s.Type == Dirty {
+				mark = "~"
+			}
+			for range terms {
+				fmt.Fprintf(w, "\t%s", mark)
+			}
+			for range nonterms {
+				fmt.Fprintf(w, "\t%s", mark)
+			}
+			fmt.Fprintln(w)
+			continue
+		}
+		for _, sym := range terms {
+			var cells []string
+			if succ, ok := s.Transitions[sym]; ok {
+				cells = append(cells, fmt.Sprintf("s%d", succ.ID))
+			}
+			for _, r := range s.Reductions {
+				cells = append(cells, fmt.Sprintf("r%d", ruleNo[r.Key()]))
+			}
+			if sym == grammar.EOF && s.Accept {
+				cells = append(cells, "acc")
+			}
+			fmt.Fprintf(w, "\t%s", strings.Join(cells, "/"))
+		}
+		for _, sym := range nonterms {
+			if succ, ok := s.Transitions[sym]; ok {
+				fmt.Fprintf(w, "\t%d", succ.ID)
+			} else {
+				fmt.Fprintf(w, "\t")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Dump renders the whole graph of item sets as deterministic text: per
+// state its type, kernel, reductions, accept flag and transitions. Tests
+// compare graph structure with it.
+func (a *Automaton) Dump() string {
+	t := a.g.Symbols()
+	var b strings.Builder
+	for _, s := range a.States() {
+		fmt.Fprintf(&b, "state %d (%s)", s.ID, s.Type)
+		if s == a.start {
+			b.WriteString(" [start]")
+		}
+		b.WriteByte('\n')
+		for _, it := range s.Kernel {
+			fmt.Fprintf(&b, "  kernel: %s\n", it.String(t))
+		}
+		if s.Type == Complete {
+			for _, r := range s.Reductions {
+				fmt.Fprintf(&b, "  reduce: %s\n", r.String(t))
+			}
+			if s.Accept {
+				b.WriteString("  accept\n")
+			}
+			for _, sym := range s.TransitionSymbols() {
+				fmt.Fprintf(&b, "  %s -> %d\n", t.Name(sym), s.Transitions[sym].ID)
+			}
+		}
+	}
+	return b.String()
+}
+
+// DOT renders the graph of item sets in Graphviz format, in the style of
+// the paper's figures: complete states as solid boxes, initial states as
+// dashed boxes, dirty states as dotted boxes.
+func (a *Automaton) DOT() string {
+	t := a.g.Symbols()
+	var b strings.Builder
+	b.WriteString("digraph itemsets {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, s := range a.States() {
+		style := "solid"
+		switch s.Type {
+		case Initial:
+			style = "dashed"
+		case Dirty:
+			style = "dotted"
+		}
+		var label strings.Builder
+		fmt.Fprintf(&label, "%d\\n", s.ID)
+		for _, it := range s.Kernel {
+			label.WriteString(escapeDOT(it.String(t)))
+			label.WriteString("\\l")
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", style=%s];\n", s.ID, label.String(), style)
+		if s.Type != Complete {
+			continue
+		}
+		for _, sym := range s.TransitionSymbols() {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%s\"];\n", s.ID, s.Transitions[sym].ID, escapeDOT(t.Name(sym)))
+		}
+		if s.Accept {
+			fmt.Fprintf(&b, "  acc%d [label=\"accept\", shape=plaintext];\n  n%d -> acc%d [label=\"$\"];\n", s.ID, s.ID, s.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,99 @@
+// Package objparse implements an OBJ-style backtracking recursive-descent
+// parser [FGJM85], row five of Fig 2.1: it explores every derivation, so
+// it "does detect all ambiguous parses", which makes it suitable for
+// finitely ambiguous grammars — but "parsing can be expensive for complex
+// expressions" (exponential in the worst case; the benchmark harness
+// shows exactly that against the parallel LR parsers).
+package objparse
+
+import (
+	"fmt"
+
+	"ipg/internal/grammar"
+)
+
+// ErrDepthExceeded is returned when the derivation depth bound trips,
+// which happens for left-recursive grammars (the backtracking parser
+// cannot terminate on them).
+var ErrDepthExceeded = fmt.Errorf("objparse: derivation depth exceeded (left recursion?)")
+
+// Parser is a backtracking recursive-descent parser.
+type Parser struct {
+	g *grammar.Grammar
+	// MaxDepth bounds the derivation depth; 0 means 64 + 2×input length
+	// per parse.
+	MaxDepth int
+}
+
+// New returns a parser for g.
+func New(g *grammar.Grammar) *Parser { return &Parser{g: g} }
+
+// CountParses returns the number of distinct derivations of input (a
+// token slice without end marker). A count greater than one means the
+// sentence is ambiguous; zero means it is rejected.
+func (p *Parser) CountParses(input []grammar.Symbol) (int, error) {
+	maxDepth := p.MaxDepth
+	if maxDepth == 0 {
+		maxDepth = 64 + 2*len(input)
+	}
+	exceeded := false
+
+	// derive returns the multiset of end positions reachable by deriving
+	// nt starting at pos; multiplicity = number of distinct derivations.
+	var derive func(nt grammar.Symbol, pos, depth int) map[int]int
+	derive = func(nt grammar.Symbol, pos, depth int) map[int]int {
+		if exceeded {
+			return nil
+		}
+		if depth > maxDepth {
+			exceeded = true
+			return nil
+		}
+		out := map[int]int{}
+		for _, r := range p.g.RulesFor(nt) {
+			// seq[i] = multiset of positions after matching r.Rhs[:i].
+			cur := map[int]int{pos: 1}
+			for _, sym := range r.Rhs {
+				next := map[int]int{}
+				for at, mult := range cur {
+					if p.g.Symbols().Kind(sym) == grammar.Terminal {
+						if at < len(input) && input[at] == sym {
+							next[at+1] += mult
+						}
+						continue
+					}
+					for end, m2 := range derive(sym, at, depth+1) {
+						next[end] += mult * m2
+					}
+				}
+				cur = next
+				if len(cur) == 0 {
+					break
+				}
+			}
+			for end, mult := range cur {
+				out[end] += mult
+			}
+		}
+		return out
+	}
+
+	ends := derive(p.g.Start(), 0, 0)
+	if exceeded {
+		return 0, ErrDepthExceeded
+	}
+	return ends[len(input)], nil
+}
+
+// Recognize reports whether input is a sentence.
+func (p *Parser) Recognize(input []grammar.Symbol) (bool, error) {
+	n, err := p.CountParses(input)
+	return n > 0, err
+}
+
+// Ambiguous reports whether input has more than one parse — the ambiguity
+// detection OBJ's backtracking parser provides.
+func (p *Parser) Ambiguous(input []grammar.Symbol) (bool, error) {
+	n, err := p.CountParses(input)
+	return n > 1, err
+}

@@ -1,0 +1,117 @@
+package objparse
+
+import (
+	"errors"
+	"testing"
+
+	"ipg/internal/fixtures"
+	"ipg/internal/grammar"
+)
+
+// Dangling-else: ambiguous but not left-recursive.
+const danglingElse = `
+START ::= S
+S ::= "i" S
+S ::= "i" S "e" S
+S ::= "x"
+`
+
+func TestRecognize(t *testing.T) {
+	g := grammar.MustParse(danglingElse)
+	p := New(g)
+	for _, tc := range []struct {
+		input string
+		want  bool
+	}{
+		{"x", true},
+		{"i x", true},
+		{"i x e x", true},
+		{"i i x e x", true},
+		{"e x", false},
+		{"i", false},
+	} {
+		got, err := p.Recognize(fixtures.Tokens(g, tc.input))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.input, err)
+		}
+		if got != tc.want {
+			t.Errorf("Recognize(%q) = %v, want %v", tc.input, got, tc.want)
+		}
+	}
+}
+
+func TestDetectsAllAmbiguousParses(t *testing.T) {
+	g := grammar.MustParse(danglingElse)
+	p := New(g)
+	n, err := p.CountParses(fixtures.Tokens(g, "i i x e x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("CountParses = %d, want 2 (dangling else)", n)
+	}
+	amb, err := p.Ambiguous(fixtures.Tokens(g, "i i x e x"))
+	if err != nil || !amb {
+		t.Errorf("Ambiguous = %v, %v", amb, err)
+	}
+	amb, err = p.Ambiguous(fixtures.Tokens(g, "i x e x"))
+	if err != nil || amb {
+		t.Errorf("'i x e x' should be unambiguous: %v, %v", amb, err)
+	}
+}
+
+func TestCountGrowsWithNesting(t *testing.T) {
+	g := grammar.MustParse(danglingElse)
+	p := New(g)
+	// i^k x (e x)^(k-1)-style sentences have Catalan-like parse counts;
+	// verify growth for k=3: 'i i i x e x e x' -> more than 2 parses.
+	n, err := p.CountParses(fixtures.Tokens(g, "i i i x e x e x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 2 {
+		t.Errorf("CountParses = %d, want > 2", n)
+	}
+}
+
+func TestLeftRecursionDepthGuard(t *testing.T) {
+	g := fixtures.Booleans() // B ::= B or B is left-recursive
+	p := New(g)
+	_, err := p.Recognize(fixtures.Tokens(g, "true or true"))
+	if !errors.Is(err, ErrDepthExceeded) {
+		t.Fatalf("want ErrDepthExceeded on left-recursive grammar, got %v", err)
+	}
+}
+
+func TestEpsilonRules(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= A "b"
+A ::= "a" | ε
+`)
+	p := New(g)
+	for _, tc := range []struct {
+		input string
+		want  int
+	}{
+		{"a b", 1},
+		{"b", 1},
+		{"a", 0},
+	} {
+		n, err := p.CountParses(fixtures.Tokens(g, tc.input))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.input, err)
+		}
+		if n != tc.want {
+			t.Errorf("CountParses(%q) = %d, want %d", tc.input, n, tc.want)
+		}
+	}
+}
+
+func TestMaxDepthOverride(t *testing.T) {
+	g := grammar.MustParse(danglingElse)
+	p := New(g)
+	p.MaxDepth = 1
+	if _, err := p.CountParses(fixtures.Tokens(g, "i i x e x")); !errors.Is(err, ErrDepthExceeded) {
+		t.Fatalf("want ErrDepthExceeded with tiny budget, got %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package sdf
+
+import "strings"
+
+// Definition is a parsed SDF module (Appendix B): a lexical syntax
+// section and a context-free syntax section.
+type Definition struct {
+	// Name is the module name (must match after "end").
+	Name string
+	// LexSorts are the sorts declared in the lexical "sorts" section.
+	LexSorts []string
+	// Layout lists the lexical sorts declared as layout.
+	Layout []string
+	// LexFuncs are the lexical functions.
+	LexFuncs []LexFunc
+	// CFSorts are the sorts declared in the context-free "sorts" section.
+	CFSorts []string
+	// Priorities are parsed but carry no semantics in this subset (IPG
+	// does not implement SDF's disambiguation filters; neither does the
+	// paper).
+	Priorities []PrioDef
+	// CFFuncs are the context-free functions; an SDF function β -> A is
+	// the BNF rule A ::= β.
+	CFFuncs []CFFunc
+}
+
+// LexElemKind tags LexElem.
+type LexElemKind uint8
+
+const (
+	// LexSort references another lexical sort.
+	LexSort LexElemKind = iota
+	// LexSortIter is a sort with an iterator, e.g. ID-TAIL*.
+	LexSortIter
+	// LexLiteral is a quoted literal.
+	LexLiteral
+	// LexClass is a character class.
+	LexClass
+	// LexNegClass is a complemented character class, ~[...].
+	LexNegClass
+)
+
+// LexElem is one element of a lexical function body.
+type LexElem struct {
+	Kind LexElemKind
+	// Name is the referenced sort for LexSort/LexSortIter.
+	Name string
+	// Iter is '+' or '*' for LexSortIter.
+	Iter byte
+	// Text is the literal text (unquoted) or the class source including
+	// brackets.
+	Text string
+}
+
+// LexFunc is a lexical function ELEMS -> SORT.
+type LexFunc struct {
+	Elems  []LexElem
+	Result string
+}
+
+// CFElemKind tags CFElem.
+type CFElemKind uint8
+
+const (
+	// CFSort references a sort.
+	CFSort CFElemKind = iota
+	// CFLiteral is a quoted literal (a keyword/punctuation terminal).
+	CFLiteral
+	// CFSortIter is SORT+ or SORT*.
+	CFSortIter
+	// CFSepList is {SORT "sep"}+ or {SORT "sep"}*.
+	CFSepList
+)
+
+// CFElem is one element of a context-free function body.
+type CFElem struct {
+	Kind CFElemKind
+	// Sort is the referenced sort (CFSort, CFSortIter, CFSepList).
+	Sort string
+	// Literal is the unquoted literal text (CFLiteral) or the separator
+	// (CFSepList).
+	Literal string
+	// Iter is '+' or '*' (CFSortIter, CFSepList).
+	Iter byte
+}
+
+// CFFunc is a context-free function ELEMS -> SORT ATTRS.
+type CFFunc struct {
+	Elems  []CFElem
+	Result string
+	Attrs  []string
+}
+
+// PrioDef is one priority chain, e.g. A > B > C or A < B. Each chain
+// element is a group of one or more abbreviated function definitions
+// (ABBREV-F-LIST): a parenthesized group gives several functions the same
+// priority level.
+type PrioDef struct {
+	// Op is '>' or '<'.
+	Op byte
+	// Groups are the chain elements in source order. An operand is an
+	// abbreviated function: its Elems always present, its Result possibly
+	// empty (SDF allows omitting "-> SORT" when the elements identify the
+	// function).
+	Groups [][]CFFunc
+}
+
+// String renders a CFElem in SDF notation.
+func (e CFElem) String() string {
+	switch e.Kind {
+	case CFSort:
+		return e.Sort
+	case CFLiteral:
+		return quoteSDF(e.Literal)
+	case CFSortIter:
+		return e.Sort + string(e.Iter)
+	case CFSepList:
+		return "{" + e.Sort + " " + quoteSDF(e.Literal) + "}" + string(e.Iter)
+	default:
+		return "?"
+	}
+}
+
+// String renders a CFFunc in SDF notation.
+func (f CFFunc) String() string {
+	var b strings.Builder
+	for i, e := range f.Elems {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(e.String())
+	}
+	if len(f.Elems) > 0 {
+		b.WriteByte(' ')
+	}
+	b.WriteString("-> ")
+	b.WriteString(f.Result)
+	if len(f.Attrs) > 0 {
+		b.WriteString(" {")
+		b.WriteString(strings.Join(f.Attrs, ", "))
+		b.WriteString("}")
+	}
+	return b.String()
+}

@@ -1,0 +1,388 @@
+package sdf
+
+import (
+	"fmt"
+
+	"ipg/internal/grammar"
+	"ipg/internal/isg"
+	"ipg/internal/priority"
+)
+
+// Converted is the result of normalizing an SDF definition: everything
+// needed to assemble a scanner/parser pair for the defined language.
+type Converted struct {
+	// Grammar is the plain context-free grammar (iterators expanded,
+	// literals as terminals) with START ::= <start sort>.
+	Grammar *grammar.Grammar
+	// LexRules are the ISG scanner rules: literal terminals first (so
+	// keywords win ties), then token sorts, then layout, then auxiliary
+	// lexical sorts.
+	LexRules []isg.Rule
+	// StartSort is the chosen start sort.
+	StartSort string
+	// TokenSorts are the lexical sorts used as terminals by the
+	// context-free syntax.
+	TokenSorts []string
+	// Relation holds the priority/associativity disambiguation filters
+	// derived from the priorities section and the function attributes;
+	// nil when the definition declares none.
+	Relation *priority.Relation
+}
+
+// Scanner assembles the ISG scanner for the converted lexical rules.
+func (c *Converted) Scanner() (*isg.Scanner, error) {
+	return isg.NewScanner(c.LexRules)
+}
+
+// Convert normalizes def into a grammar and scanner rules. startSort
+// selects the start sort; when empty, the result sort of the first
+// context-free function is used. SDF priorities are parsed but not
+// applied (IPG has no disambiguation filters; forests keep all parses).
+func Convert(def *Definition, startSort string) (*Converted, error) {
+	if len(def.CFFuncs) == 0 {
+		return nil, fmt.Errorf("sdf: module %s has no context-free functions", def.Name)
+	}
+	if startSort == "" {
+		startSort = def.CFFuncs[0].Result
+	}
+
+	// Sorts defined by context-free functions are nonterminals;
+	// everything else referenced in a function body is a token sort.
+	cfDefined := map[string]bool{}
+	for _, f := range def.CFFuncs {
+		cfDefined[f.Result] = true
+	}
+	lexDefined := map[string]bool{}
+	for _, f := range def.LexFuncs {
+		lexDefined[f.Result] = true
+	}
+
+	st := grammar.NewSymbolTable()
+	g := grammar.New(st)
+
+	nonterminal := func(name string) (grammar.Symbol, error) { return st.Intern(name, grammar.Nonterminal) }
+	terminal := func(name string) (grammar.Symbol, error) { return st.Intern(name, grammar.Terminal) }
+
+	var tokenSorts []string
+	tokenSeen := map[string]bool{}
+	symbolFor := func(sort string) (grammar.Symbol, error) {
+		if cfDefined[sort] {
+			return nonterminal(sort)
+		}
+		if !lexDefined[sort] {
+			return grammar.NoSymbol, fmt.Errorf("sdf: sort %s is used but defined neither lexically nor context-free", sort)
+		}
+		if !tokenSeen[sort] {
+			tokenSeen[sort] = true
+			tokenSorts = append(tokenSorts, sort)
+		}
+		return terminal(sort)
+	}
+
+	var literals []string
+	litSeen := map[string]bool{}
+	literalFor := func(text string) (grammar.Symbol, error) {
+		if !litSeen[text] {
+			litSeen[text] = true
+			literals = append(literals, text)
+		}
+		return terminal(text)
+	}
+
+	// Iterator expansion: X+ / X* / {X "sep"}+ / {X "sep"}* become
+	// auxiliary nonterminals with left-recursive rules.
+	auxDone := map[string]bool{}
+	addRule := func(lhs grammar.Symbol, rhs ...grammar.Symbol) error {
+		r := grammar.NewRule(lhs, rhs...)
+		if g.Has(r) {
+			return nil
+		}
+		return g.AddRule(r)
+	}
+	var elemSymbol func(e CFElem) (grammar.Symbol, error)
+	elemSymbol = func(e CFElem) (grammar.Symbol, error) {
+		switch e.Kind {
+		case CFSort:
+			return symbolFor(e.Sort)
+		case CFLiteral:
+			return literalFor(e.Literal)
+		case CFSortIter:
+			base, err := symbolFor(e.Sort)
+			if err != nil {
+				return grammar.NoSymbol, err
+			}
+			name := e.Sort + string(e.Iter)
+			aux, err := nonterminal(name)
+			if err != nil {
+				return grammar.NoSymbol, err
+			}
+			if !auxDone[name] {
+				auxDone[name] = true
+				if e.Iter == '*' {
+					// X* ::= ε | X* X
+					if err := addRule(aux); err != nil {
+						return grammar.NoSymbol, err
+					}
+					if err := addRule(aux, aux, base); err != nil {
+						return grammar.NoSymbol, err
+					}
+				} else {
+					// X+ ::= X | X+ X
+					if err := addRule(aux, base); err != nil {
+						return grammar.NoSymbol, err
+					}
+					if err := addRule(aux, aux, base); err != nil {
+						return grammar.NoSymbol, err
+					}
+				}
+			}
+			return aux, nil
+		case CFSepList:
+			base, err := symbolFor(e.Sort)
+			if err != nil {
+				return grammar.NoSymbol, err
+			}
+			sep, err := literalFor(e.Literal)
+			if err != nil {
+				return grammar.NoSymbol, err
+			}
+			plusName := "{" + e.Sort + " " + e.Literal + "}+"
+			plus, err := nonterminal(plusName)
+			if err != nil {
+				return grammar.NoSymbol, err
+			}
+			if !auxDone[plusName] {
+				auxDone[plusName] = true
+				// {X sep}+ ::= X | {X sep}+ sep X
+				if err := addRule(plus, base); err != nil {
+					return grammar.NoSymbol, err
+				}
+				if err := addRule(plus, plus, sep, base); err != nil {
+					return grammar.NoSymbol, err
+				}
+			}
+			if e.Iter == '+' {
+				return plus, nil
+			}
+			starName := "{" + e.Sort + " " + e.Literal + "}*"
+			star, err := nonterminal(starName)
+			if err != nil {
+				return grammar.NoSymbol, err
+			}
+			if !auxDone[starName] {
+				auxDone[starName] = true
+				// {X sep}* ::= ε | {X sep}+
+				if err := addRule(star); err != nil {
+					return grammar.NoSymbol, err
+				}
+				if err := addRule(star, plus); err != nil {
+					return grammar.NoSymbol, err
+				}
+			}
+			return star, nil
+		}
+		return grammar.NoSymbol, fmt.Errorf("sdf: unknown element kind %d", e.Kind)
+	}
+
+	if !cfDefined[startSort] {
+		return nil, fmt.Errorf("sdf: start sort %s has no context-free function", startSort)
+	}
+	rel := priority.New()
+	for _, f := range def.CFFuncs {
+		lhs, err := nonterminal(f.Result)
+		if err != nil {
+			return nil, err
+		}
+		rhs := make([]grammar.Symbol, 0, len(f.Elems))
+		for _, e := range f.Elems {
+			s, err := elemSymbol(e)
+			if err != nil {
+				return nil, fmt.Errorf("sdf: function %s: %w", f.String(), err)
+			}
+			rhs = append(rhs, s)
+		}
+		r := grammar.NewRule(lhs, rhs...)
+		if !g.Has(r) {
+			if err := g.AddRule(r); err != nil {
+				return nil, err
+			}
+		}
+		canonical, _ := g.Lookup(r)
+		for _, attr := range f.Attrs {
+			switch attr {
+			case "assoc", "left-assoc":
+				rel.SetAssoc(canonical, priority.Left)
+			case "right-assoc":
+				rel.SetAssoc(canonical, priority.Right)
+				// "par" (parenthesizer) carries no filter semantics here.
+			}
+		}
+	}
+	startSym, err := nonterminal(startSort)
+	if err != nil {
+		return nil, err
+	}
+	if err := addRule(g.Start(), startSym); err != nil {
+		return nil, err
+	}
+
+	// Resolve the priorities section against the built rule set.
+	resolveOperand := func(f CFFunc) ([]*grammar.Rule, error) {
+		rhs := make([]grammar.Symbol, 0, len(f.Elems))
+		for _, e := range f.Elems {
+			s, err := elemSymbol(e)
+			if err != nil {
+				return nil, err
+			}
+			rhs = append(rhs, s)
+		}
+		var out []*grammar.Rule
+		for _, r := range g.Rules() {
+			if len(r.Rhs) != len(rhs) {
+				continue
+			}
+			same := true
+			for i := range rhs {
+				if r.Rhs[i] != rhs[i] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				continue
+			}
+			if f.Result != "" {
+				lhs, ok := st.Lookup(f.Result)
+				if !ok || r.Lhs != lhs {
+					continue
+				}
+			}
+			out = append(out, r)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("sdf: priority operand %q matches no function", f.String())
+		}
+		return out, nil
+	}
+	for _, pd := range def.Priorities {
+		groups := make([][]*grammar.Rule, len(pd.Groups))
+		for i, group := range pd.Groups {
+			for _, op := range group {
+				rs, err := resolveOperand(op)
+				if err != nil {
+					return nil, err
+				}
+				groups[i] = append(groups[i], rs...)
+			}
+		}
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				for _, hi := range groups[i] {
+					for _, lo := range groups[j] {
+						if pd.Op == '>' {
+							rel.AddGreater(hi, lo)
+						} else {
+							rel.AddGreater(lo, hi)
+						}
+					}
+				}
+			}
+		}
+	}
+	rel.Close()
+
+	lexRules, err := buildLexRules(def, literals, tokenSorts)
+	if err != nil {
+		return nil, err
+	}
+	conv := &Converted{
+		Grammar:    g,
+		LexRules:   lexRules,
+		StartSort:  startSort,
+		TokenSorts: tokenSorts,
+	}
+	if !rel.Empty() {
+		conv.Relation = rel
+	}
+	return conv, nil
+}
+
+// buildLexRules assembles the ISG rule list: literal terminals first so
+// keywords beat identifier-shaped token sorts on equal-length matches,
+// then token sorts (referenced by the context-free syntax), then layout
+// sorts, then the remaining auxiliary lexical sorts (referenced only via
+// inlining, last so they lose ties against real token sorts).
+func buildLexRules(def *Definition, literals, tokenSorts []string) ([]isg.Rule, error) {
+	var rules []isg.Rule
+	for _, lit := range literals {
+		rules = append(rules, isg.Rule{Sort: lit, Pattern: isg.Lit(lit)})
+	}
+
+	layout := map[string]bool{}
+	for _, l := range def.Layout {
+		layout[l] = true
+	}
+	isToken := map[string]bool{}
+	for _, s := range tokenSorts {
+		isToken[s] = true
+	}
+
+	toPattern := func(f LexFunc) (*isg.Pattern, error) {
+		subs := make([]*isg.Pattern, 0, len(f.Elems))
+		for _, e := range f.Elems {
+			switch e.Kind {
+			case LexSort:
+				subs = append(subs, isg.Ref(e.Name))
+			case LexSortIter:
+				if e.Iter == '*' {
+					subs = append(subs, isg.Star(isg.Ref(e.Name)))
+				} else {
+					subs = append(subs, isg.Plus(isg.Ref(e.Name)))
+				}
+			case LexLiteral:
+				subs = append(subs, isg.Lit(e.Text))
+			case LexClass:
+				c, err := isg.ParseClass(e.Text)
+				if err != nil {
+					return nil, err
+				}
+				subs = append(subs, isg.Class(c))
+			case LexNegClass:
+				c, err := isg.ParseClass(e.Text)
+				if err != nil {
+					return nil, err
+				}
+				subs = append(subs, isg.Class(c.Negate()))
+			}
+		}
+		if len(subs) == 1 {
+			return subs[0], nil
+		}
+		return isg.Seq(subs...), nil
+	}
+
+	// Partition lexical functions by the role of their result sort.
+	var tokenRules, layoutRules, auxRules []isg.Rule
+	for _, f := range def.LexFuncs {
+		pat, err := toPattern(f)
+		if err != nil {
+			return nil, fmt.Errorf("sdf: lexical function for %s: %w", f.Result, err)
+		}
+		r := isg.Rule{Sort: f.Result, Pattern: pat, Layout: layout[f.Result]}
+		switch {
+		case layout[f.Result]:
+			layoutRules = append(layoutRules, r)
+		case isToken[f.Result]:
+			tokenRules = append(tokenRules, r)
+		default:
+			// Sorts used only inside other lexical definitions never
+			// produce tokens themselves.
+			r.Private = true
+			auxRules = append(auxRules, r)
+		}
+	}
+	rules = append(rules, tokenRules...)
+	rules = append(rules, layoutRules...)
+	rules = append(rules, auxRules...)
+	return rules, nil
+}

@@ -1,0 +1,151 @@
+package sdf
+
+import (
+	"fmt"
+
+	"ipg/internal/grammar"
+)
+
+// BootstrapGrammar returns the context-free grammar of SDF itself,
+// transcribed from Appendix B into plain BNF. This is the test grammar of
+// the section 7 measurements ("The test grammar we used is an LR(1)
+// version of the grammar of SDF ... The fact that it also happens to be
+// the language in which grammars for PG and IPG have to be expressed is
+// purely coincidental").
+//
+// Deviations from Appendix B, needed for the grammar to be LALR(1) as the
+// paper requires for the Yacc comparison:
+//
+//   - {X sep}+ lists are expanded into left-recursive auxiliary
+//     nonterminals (SDF's built-in iterators are notation, not grammar).
+//   - PRIO-DEF chains require at least two operands ({L ">"}+ and
+//     {L "<"}+ both derive a bare L, which is ambiguous).
+//   - ABBREV-F-DEF's two forms (CF-ELEM+ and CF-ELEM* "->" SORT) are
+//     merged via a shared CF-ELEM list prefix.
+//   - Function attributes are covered: "{assoc}" after "-> SORT" needs two
+//     tokens of lookahead to distinguish from a following "{SORT ","}+"
+//     element, so the grammar attaches an attribute group to the *next*
+//     function definition (plus one trailing slot after the last). The
+//     accepted language is unchanged; consumers re-associate attributes
+//     with the preceding function.
+//
+// The modification measured in Fig 7.1 —
+// <CF-ELEM> ::= "(" <CF-ELEM>+ ")?" — is available as ModificationRule.
+func BootstrapGrammar() (*grammar.Grammar, error) {
+	const src = `
+START ::= SDF-DEFINITION
+SDF-DEFINITION ::= "module" "ID" "begin" OPT-LEXICAL-SYNTAX OPT-CONTEXT-FREE-SYNTAX "end" "ID"
+
+OPT-LEXICAL-SYNTAX ::= LEXICAL-SYNTAX | ε
+LEXICAL-SYNTAX ::= "lexical" "syntax" OPT-SORTS-DECL OPT-LAYOUT OPT-LEXICAL-FUNCTIONS
+
+OPT-SORTS-DECL ::= SORTS-DECL | ε
+SORTS-DECL ::= "sorts" SORT-LIST
+SORT-LIST ::= SORT | SORT-LIST "," SORT
+SORT ::= "ID"
+
+OPT-LAYOUT ::= LAYOUT | ε
+LAYOUT ::= "layout" SORT-LIST
+
+OPT-LEXICAL-FUNCTIONS ::= LEXICAL-FUNCTIONS | ε
+LEXICAL-FUNCTIONS ::= "functions" LEX-FUNCTION-DEFS
+LEX-FUNCTION-DEFS ::= LEXICAL-FUNCTION-DEF | LEX-FUNCTION-DEFS LEXICAL-FUNCTION-DEF
+LEXICAL-FUNCTION-DEF ::= LEX-ELEMS "->" SORT
+LEX-ELEMS ::= LEX-ELEM | LEX-ELEMS LEX-ELEM
+LEX-ELEM ::= SORT
+LEX-ELEM ::= SORT "ITERATOR"
+LEX-ELEM ::= "LITERAL"
+LEX-ELEM ::= "CHAR-CLASS"
+LEX-ELEM ::= "~" "CHAR-CLASS"
+
+OPT-CONTEXT-FREE-SYNTAX ::= CONTEXT-FREE-SYNTAX | ε
+CONTEXT-FREE-SYNTAX ::= "context-free" "syntax" OPT-SORTS-DECL OPT-PRIORITIES FUNCTIONS
+
+OPT-PRIORITIES ::= PRIORITIES | ε
+PRIORITIES ::= "priorities" PRIO-DEF-LIST
+PRIO-DEF-LIST ::= PRIO-DEF | PRIO-DEF-LIST "," PRIO-DEF
+PRIO-DEF ::= ABBREV-F-LIST GT-CHAIN
+PRIO-DEF ::= ABBREV-F-LIST LT-CHAIN
+GT-CHAIN ::= ">" ABBREV-F-LIST | GT-CHAIN ">" ABBREV-F-LIST
+LT-CHAIN ::= "<" ABBREV-F-LIST | LT-CHAIN "<" ABBREV-F-LIST
+ABBREV-F-LIST ::= ABBREV-F-DEF
+ABBREV-F-LIST ::= "(" ABBREV-F-DEF-LIST ")"
+ABBREV-F-DEF-LIST ::= ABBREV-F-DEF | ABBREV-F-DEF-LIST "," ABBREV-F-DEF
+ABBREV-F-DEF ::= CF-ELEMS
+ABBREV-F-DEF ::= CF-ELEMS "->" SORT
+ABBREV-F-DEF ::= "->" SORT
+
+FUNCTIONS ::= "functions" FUNCTION-DEFS OPT-ATTRIBUTES
+FUNCTION-DEFS ::= FUNCTION-DEF | FUNCTION-DEFS FUNCTION-DEF
+FUNCTION-DEF ::= CF-ELEMS "->" SORT
+FUNCTION-DEF ::= ATTRIBUTES CF-ELEMS "->" SORT
+FUNCTION-DEF ::= "->" SORT
+FUNCTION-DEF ::= ATTRIBUTES "->" SORT
+CF-ELEMS ::= CF-ELEM | CF-ELEMS CF-ELEM
+CF-ELEM ::= SORT
+CF-ELEM ::= "LITERAL"
+CF-ELEM ::= SORT "ITERATOR"
+CF-ELEM ::= "{" SORT "LITERAL" "}" "ITERATOR"
+
+OPT-ATTRIBUTES ::= ATTRIBUTES | ε
+ATTRIBUTES ::= "{" ATTRIBUTE-LIST "}"
+ATTRIBUTE-LIST ::= ATTRIBUTE | ATTRIBUTE-LIST "," ATTRIBUTE
+ATTRIBUTE ::= "par" | "assoc" | "left-assoc" | "right-assoc"
+`
+	g, err := grammar.Parse(src, nil)
+	if err != nil {
+		return nil, fmt.Errorf("sdf: bootstrap grammar: %w", err)
+	}
+	// The "?" terminal is not used by the base grammar but must exist so
+	// the Fig 7.1 modification and tokenizer share the symbol table.
+	if _, err := g.Symbols().Intern("?", grammar.Terminal); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBootstrapGrammar is BootstrapGrammar that panics on error.
+func MustBootstrapGrammar() *grammar.Grammar {
+	g, err := BootstrapGrammar()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ModificationRule returns the rule added in the section 7 measurements:
+//
+//	<CF-ELEM> ::= "(" <CF-ELEM>+ ")?"
+//
+// ("which adds an element in priority and function declarations"). The
+// ")?" of the paper is tokenized here as ")" followed by "?".
+func ModificationRule(g *grammar.Grammar) (*grammar.Rule, error) {
+	lookup := func(name string) (grammar.Symbol, error) {
+		s, ok := g.Symbols().Lookup(name)
+		if !ok {
+			return grammar.NoSymbol, fmt.Errorf("sdf: symbol %q not in bootstrap grammar", name)
+		}
+		return s, nil
+	}
+	cfElem, err := lookup("CF-ELEM")
+	if err != nil {
+		return nil, err
+	}
+	cfElems, err := lookup("CF-ELEMS")
+	if err != nil {
+		return nil, err
+	}
+	lparen, err := lookup("(")
+	if err != nil {
+		return nil, err
+	}
+	rparen, err := lookup(")")
+	if err != nil {
+		return nil, err
+	}
+	quest, err := lookup("?")
+	if err != nil {
+		return nil, err
+	}
+	return grammar.NewRule(cfElem, lparen, cfElems, rparen, quest), nil
+}

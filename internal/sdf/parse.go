@@ -1,0 +1,479 @@
+package sdf
+
+import (
+	"fmt"
+	"strings"
+
+	"ipg/internal/isg"
+)
+
+// ParseDefinition reads an SDF module from source text into a Definition.
+// The reader is a hand-written recursive-descent parser over the ISG
+// token stream (the bootstrap grammar of BootstrapGrammar accepts the
+// same language and drives the section 7 measurements; this reader is the
+// production front end for loading user grammars).
+func ParseDefinition(src string) (*Definition, error) {
+	sc, err := NewScanner()
+	if err != nil {
+		return nil, err
+	}
+	toks, err := sc.Scan(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &defParser{toks: toks}
+	def, err := p.parseDefinition()
+	if err != nil {
+		return nil, err
+	}
+	return def, nil
+}
+
+type defParser struct {
+	toks []isg.Token
+	pos  int
+}
+
+func (p *defParser) peek() *isg.Token {
+	if p.pos < len(p.toks) {
+		return &p.toks[p.pos]
+	}
+	return nil
+}
+
+func (p *defParser) peekAt(n int) *isg.Token {
+	if p.pos+n < len(p.toks) {
+		return &p.toks[p.pos+n]
+	}
+	return nil
+}
+
+func (p *defParser) at(sort string) bool {
+	t := p.peek()
+	return t != nil && t.Sort == sort
+}
+
+func (p *defParser) take(sort string) (*isg.Token, error) {
+	t := p.peek()
+	if t == nil {
+		return nil, fmt.Errorf("sdf: unexpected end of input, expected %s", sort)
+	}
+	if t.Sort != sort {
+		return nil, fmt.Errorf("sdf: %d:%d: expected %s, found %s %q", t.Line, t.Col, sort, t.Sort, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func unquote(lit string) string {
+	body := lit[1 : len(lit)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) {
+			i++
+			switch body[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(body[i])
+			}
+			continue
+		}
+		b.WriteByte(body[i])
+	}
+	return b.String()
+}
+
+func (p *defParser) parseDefinition() (*Definition, error) {
+	def := &Definition{}
+	if _, err := p.take("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.take("ID")
+	if err != nil {
+		return nil, err
+	}
+	def.Name = name.Text
+	if _, err := p.take("begin"); err != nil {
+		return nil, err
+	}
+	if p.at("lexical") {
+		if err := p.parseLexicalSyntax(def); err != nil {
+			return nil, err
+		}
+	}
+	if p.at("context-free") {
+		if err := p.parseContextFreeSyntax(def); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.take("end"); err != nil {
+		return nil, err
+	}
+	endName, err := p.take("ID")
+	if err != nil {
+		return nil, err
+	}
+	if endName.Text != def.Name {
+		return nil, fmt.Errorf("sdf: module %q ends with %q", def.Name, endName.Text)
+	}
+	if t := p.peek(); t != nil {
+		return nil, fmt.Errorf("sdf: %d:%d: trailing input after module", t.Line, t.Col)
+	}
+	return def, nil
+}
+
+func (p *defParser) parseSortList() ([]string, error) {
+	var out []string
+	id, err := p.take("ID")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, id.Text)
+	for p.at(",") {
+		p.pos++
+		id, err := p.take("ID")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id.Text)
+	}
+	return out, nil
+}
+
+func (p *defParser) parseLexicalSyntax(def *Definition) error {
+	if _, err := p.take("lexical"); err != nil {
+		return err
+	}
+	if _, err := p.take("syntax"); err != nil {
+		return err
+	}
+	if p.at("sorts") {
+		p.pos++
+		sorts, err := p.parseSortList()
+		if err != nil {
+			return err
+		}
+		def.LexSorts = sorts
+	}
+	if p.at("layout") {
+		p.pos++
+		layout, err := p.parseSortList()
+		if err != nil {
+			return err
+		}
+		def.Layout = layout
+	}
+	if p.at("functions") {
+		p.pos++
+		for {
+			f, ok, err := p.parseLexFunc()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			def.LexFuncs = append(def.LexFuncs, f)
+		}
+		if len(def.LexFuncs) == 0 {
+			return fmt.Errorf("sdf: empty lexical functions section")
+		}
+	}
+	return nil
+}
+
+// lexElemStart reports whether the current token can start a LEX-ELEM.
+func (p *defParser) lexElemStart() bool {
+	t := p.peek()
+	if t == nil {
+		return false
+	}
+	switch t.Sort {
+	case "ID", "LITERAL", "CHAR-CLASS", "~":
+		return true
+	}
+	return false
+}
+
+func (p *defParser) parseLexFunc() (LexFunc, bool, error) {
+	if !p.lexElemStart() {
+		return LexFunc{}, false, nil
+	}
+	var f LexFunc
+	for p.lexElemStart() {
+		t := p.peek()
+		switch t.Sort {
+		case "ID":
+			p.pos++
+			el := LexElem{Kind: LexSort, Name: t.Text}
+			if p.at("ITERATOR") {
+				el.Kind = LexSortIter
+				el.Iter = p.peek().Text[0]
+				p.pos++
+			}
+			f.Elems = append(f.Elems, el)
+		case "LITERAL":
+			p.pos++
+			f.Elems = append(f.Elems, LexElem{Kind: LexLiteral, Text: unquote(t.Text)})
+		case "CHAR-CLASS":
+			p.pos++
+			f.Elems = append(f.Elems, LexElem{Kind: LexClass, Text: t.Text})
+		case "~":
+			p.pos++
+			cc, err := p.take("CHAR-CLASS")
+			if err != nil {
+				return f, false, err
+			}
+			f.Elems = append(f.Elems, LexElem{Kind: LexNegClass, Text: cc.Text})
+		}
+	}
+	if _, err := p.take("->"); err != nil {
+		return f, false, err
+	}
+	res, err := p.take("ID")
+	if err != nil {
+		return f, false, err
+	}
+	f.Result = res.Text
+	return f, true, nil
+}
+
+func (p *defParser) parseContextFreeSyntax(def *Definition) error {
+	if _, err := p.take("context-free"); err != nil {
+		return err
+	}
+	if _, err := p.take("syntax"); err != nil {
+		return err
+	}
+	if p.at("sorts") {
+		p.pos++
+		sorts, err := p.parseSortList()
+		if err != nil {
+			return err
+		}
+		def.CFSorts = sorts
+	}
+	if p.at("priorities") {
+		p.pos++
+		if err := p.parsePriorities(def); err != nil {
+			return err
+		}
+	}
+	if _, err := p.take("functions"); err != nil {
+		return err
+	}
+	for {
+		f, ok, err := p.parseCFFunc()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		def.CFFuncs = append(def.CFFuncs, f)
+	}
+	if len(def.CFFuncs) == 0 {
+		return fmt.Errorf("sdf: empty context-free functions section")
+	}
+	return nil
+}
+
+func (p *defParser) parsePriorities(def *Definition) error {
+	for {
+		var pd PrioDef
+		group, err := p.parsePrioGroup()
+		if err != nil {
+			return err
+		}
+		pd.Groups = append(pd.Groups, group)
+		var op string
+		switch {
+		case p.at(">"):
+			op, pd.Op = ">", '>'
+		case p.at("<"):
+			op, pd.Op = "<", '<'
+		default:
+			t := p.peek()
+			return fmt.Errorf("sdf: priority chain needs > or < (at %v)", t)
+		}
+		for p.at(op) {
+			p.pos++
+			group, err := p.parsePrioGroup()
+			if err != nil {
+				return err
+			}
+			pd.Groups = append(pd.Groups, group)
+		}
+		def.Priorities = append(def.Priorities, pd)
+		if !p.at(",") {
+			return nil
+		}
+		p.pos++
+	}
+}
+
+// parsePrioGroup reads one ABBREV-F-LIST: a single abbreviated function
+// or a parenthesized, comma-separated group sharing one priority level.
+func (p *defParser) parsePrioGroup() ([]CFFunc, error) {
+	if p.at("(") {
+		p.pos++
+		var parts []CFFunc
+		part, err := p.parseAbbrevFDef()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+		for p.at(",") {
+			p.pos++
+			part, err := p.parseAbbrevFDef()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, part)
+		}
+		if _, err := p.take(")"); err != nil {
+			return nil, err
+		}
+		return parts, nil
+	}
+	part, err := p.parseAbbrevFDef()
+	if err != nil {
+		return nil, err
+	}
+	return []CFFunc{part}, nil
+}
+
+func (p *defParser) parseAbbrevFDef() (CFFunc, error) {
+	var f CFFunc
+	for p.cfElemStart() {
+		e, err := p.parseCFElem()
+		if err != nil {
+			return f, err
+		}
+		f.Elems = append(f.Elems, e)
+	}
+	if p.at("->") {
+		p.pos++
+		res, err := p.take("ID")
+		if err != nil {
+			return f, err
+		}
+		f.Result = res.Text
+		return f, nil
+	}
+	if len(f.Elems) == 0 {
+		t := p.peek()
+		return f, fmt.Errorf("sdf: empty priority operand (at %v)", t)
+	}
+	return f, nil
+}
+
+func (p *defParser) cfElemStart() bool {
+	t := p.peek()
+	if t == nil {
+		return false
+	}
+	switch t.Sort {
+	case "ID", "LITERAL":
+		return true
+	case "{":
+		// Both a separated list {SORT "sep"}+ and an attribute group
+		// {assoc}; only the former is a CF-ELEM. One extra token decides.
+		n := p.peekAt(1)
+		return n != nil && n.Sort == "ID"
+	}
+	return false
+}
+
+func (p *defParser) parseCFElem() (CFElem, error) {
+	t := p.peek()
+	switch t.Sort {
+	case "ID":
+		p.pos++
+		e := CFElem{Kind: CFSort, Sort: t.Text}
+		if p.at("ITERATOR") {
+			e.Kind = CFSortIter
+			e.Iter = p.peek().Text[0]
+			p.pos++
+		}
+		return e, nil
+	case "LITERAL":
+		p.pos++
+		return CFElem{Kind: CFLiteral, Literal: unquote(t.Text)}, nil
+	case "{":
+		p.pos++
+		sort, err := p.take("ID")
+		if err != nil {
+			return CFElem{}, err
+		}
+		sep, err := p.take("LITERAL")
+		if err != nil {
+			return CFElem{}, err
+		}
+		if _, err := p.take("}"); err != nil {
+			return CFElem{}, err
+		}
+		it, err := p.take("ITERATOR")
+		if err != nil {
+			return CFElem{}, err
+		}
+		return CFElem{Kind: CFSepList, Sort: sort.Text, Literal: unquote(sep.Text), Iter: it.Text[0]}, nil
+	}
+	return CFElem{}, fmt.Errorf("sdf: %d:%d: unexpected %s %q in function body", t.Line, t.Col, t.Sort, t.Text)
+}
+
+func (p *defParser) parseCFFunc() (CFFunc, bool, error) {
+	if !p.cfElemStart() && !p.at("->") {
+		return CFFunc{}, false, nil
+	}
+	var f CFFunc
+	for p.cfElemStart() {
+		e, err := p.parseCFElem()
+		if err != nil {
+			return f, false, err
+		}
+		f.Elems = append(f.Elems, e)
+	}
+	if _, err := p.take("->"); err != nil {
+		return f, false, err
+	}
+	res, err := p.take("ID")
+	if err != nil {
+		return f, false, err
+	}
+	f.Result = res.Text
+	// Attributes: "{" followed by an attribute keyword.
+	if p.at("{") {
+		if n := p.peekAt(1); n != nil {
+			switch n.Sort {
+			case "par", "assoc", "left-assoc", "right-assoc":
+				p.pos++
+				for {
+					a := p.peek()
+					if a == nil {
+						return f, false, fmt.Errorf("sdf: unterminated attribute group")
+					}
+					switch a.Sort {
+					case "par", "assoc", "left-assoc", "right-assoc":
+						f.Attrs = append(f.Attrs, a.Sort)
+						p.pos++
+					default:
+						return f, false, fmt.Errorf("sdf: %d:%d: bad attribute %q", a.Line, a.Col, a.Text)
+					}
+					if p.at(",") {
+						p.pos++
+						continue
+					}
+					break
+				}
+				if _, err := p.take("}"); err != nil {
+					return f, false, err
+				}
+			}
+		}
+	}
+	return f, true, nil
+}

@@ -1,0 +1,149 @@
+package sdf
+
+import (
+	"strconv"
+	"strings"
+)
+
+// String renders the definition back in SDF concrete syntax. The output
+// round-trips: ParseDefinition(def.String()) yields an equivalent
+// definition. Used by tooling that edits definitions programmatically
+// (the "simultaneous editing of language definitions" scenario of
+// section 8).
+func (d *Definition) String() string {
+	var b strings.Builder
+	b.WriteString("module ")
+	b.WriteString(d.Name)
+	b.WriteString("\nbegin\n")
+
+	if len(d.LexSorts) > 0 || len(d.Layout) > 0 || len(d.LexFuncs) > 0 {
+		b.WriteString("  lexical syntax\n")
+		if len(d.LexSorts) > 0 {
+			b.WriteString("    sorts ")
+			b.WriteString(strings.Join(d.LexSorts, ", "))
+			b.WriteByte('\n')
+		}
+		if len(d.Layout) > 0 {
+			b.WriteString("    layout ")
+			b.WriteString(strings.Join(d.Layout, ", "))
+			b.WriteByte('\n')
+		}
+		if len(d.LexFuncs) > 0 {
+			b.WriteString("    functions\n")
+			for _, f := range d.LexFuncs {
+				b.WriteString("      ")
+				b.WriteString(f.String())
+				b.WriteByte('\n')
+			}
+		}
+	}
+
+	if len(d.CFSorts) > 0 || len(d.Priorities) > 0 || len(d.CFFuncs) > 0 {
+		b.WriteString("  context-free syntax\n")
+		if len(d.CFSorts) > 0 {
+			b.WriteString("    sorts ")
+			b.WriteString(strings.Join(d.CFSorts, ", "))
+			b.WriteByte('\n')
+		}
+		if len(d.Priorities) > 0 {
+			b.WriteString("    priorities\n")
+			for i, pd := range d.Priorities {
+				b.WriteString("      ")
+				b.WriteString(pd.String())
+				if i < len(d.Priorities)-1 {
+					b.WriteByte(',')
+				}
+				b.WriteByte('\n')
+			}
+		}
+		if len(d.CFFuncs) > 0 {
+			b.WriteString("    functions\n")
+			for _, f := range d.CFFuncs {
+				b.WriteString("      ")
+				b.WriteString(f.String())
+				b.WriteByte('\n')
+			}
+		}
+	}
+
+	b.WriteString("end ")
+	b.WriteString(d.Name)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// String renders a lexical function in SDF notation.
+func (f LexFunc) String() string {
+	var b strings.Builder
+	for i, e := range f.Elems {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString(" -> ")
+	b.WriteString(f.Result)
+	return b.String()
+}
+
+// String renders a lexical element in SDF notation.
+func (e LexElem) String() string {
+	switch e.Kind {
+	case LexSort:
+		return e.Name
+	case LexSortIter:
+		return e.Name + string(e.Iter)
+	case LexLiteral:
+		return quoteSDF(e.Text)
+	case LexClass:
+		return e.Text
+	case LexNegClass:
+		return "~" + e.Text
+	default:
+		return "?"
+	}
+}
+
+// String renders a priority definition in SDF notation.
+func (pd PrioDef) String() string {
+	op := " > "
+	if pd.Op == '<' {
+		op = " < "
+	}
+	groups := make([]string, len(pd.Groups))
+	for i, group := range pd.Groups {
+		parts := make([]string, len(group))
+		for j, f := range group {
+			parts[j] = abbrevString(f)
+		}
+		if len(parts) == 1 {
+			groups[i] = parts[0]
+		} else {
+			groups[i] = "(" + strings.Join(parts, ", ") + ")"
+		}
+	}
+	return strings.Join(groups, op)
+}
+
+// abbrevString renders an abbreviated function (possibly without result).
+func abbrevString(f CFFunc) string {
+	var b strings.Builder
+	for i, e := range f.Elems {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(e.String())
+	}
+	if f.Result != "" {
+		b.WriteString(" -> ")
+		b.WriteString(f.Result)
+	}
+	return b.String()
+}
+
+// quoteSDF quotes a literal in SDF syntax (double quotes, backslash
+// escapes for quote, backslash, newline and tab).
+func quoteSDF(s string) string {
+	q := strconv.Quote(s)
+	return q
+}

@@ -1,0 +1,72 @@
+package sdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnparseRoundTrip: every testdata definition survives
+// parse → unparse → parse with identical structure (canonical rendering
+// compared).
+func TestUnparseRoundTrip(t *testing.T) {
+	for _, name := range []string{"exp.sdf", "Exam.sdf", "SDF.sdf", "ASF.sdf", "Calc.sdf"} {
+		t.Run(name, func(t *testing.T) {
+			def1, err := ParseDefinition(readTestdata(t, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rendered := def1.String()
+			def2, err := ParseDefinition(rendered)
+			if err != nil {
+				t.Fatalf("reparse of unparsed definition: %v\n%s", err, rendered)
+			}
+			if def1.String() != def2.String() {
+				t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s",
+					def1.String(), def2.String())
+			}
+		})
+	}
+}
+
+func TestUnparseEscapes(t *testing.T) {
+	src := `module M
+begin
+  context-free syntax
+    functions
+      "\"" E "\\" -> E
+end M
+`
+	def, err := ParseDefinition(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := def.String()
+	def2, err := ParseDefinition(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	f := def2.CFFuncs[0]
+	if f.Elems[0].Literal != `"` || f.Elems[2].Literal != `\` {
+		t.Errorf("escapes mangled: %+v", f.Elems)
+	}
+}
+
+func TestUnparsePriorities(t *testing.T) {
+	def, err := ParseDefinition(readTestdata(t, "Calc.sdf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := def.String()
+	if !strings.Contains(out, "priorities") {
+		t.Errorf("priorities lost in unparse:\n%s", out)
+	}
+	if !strings.Contains(out, `EXP "^" EXP -> EXP > EXP "*" EXP -> EXP`) {
+		t.Errorf("priority chain mangled:\n%s", out)
+	}
+	if !strings.Contains(out, "(EXP \"*\" EXP -> EXP, EXP \"/\" EXP -> EXP)") {
+		t.Errorf("parenthesized group mangled:\n%s", out)
+	}
+	if !strings.Contains(out, "{right-assoc}") || !strings.Contains(out, "{left-assoc}") {
+		t.Errorf("attributes lost:\n%s", out)
+	}
+}

@@ -1,0 +1,550 @@
+// Package ipg is a Go implementation of IPG, the lazy and incremental
+// parser generator of J. Heering, P. Klint and J. Rekers, "Incremental
+// Generation of Parsers" (CWI report CS-R8822, 1988; PLDI 1989), together
+// with every substrate the paper builds on or compares against:
+//
+//   - a parallel (Tomita-style) LR parser for arbitrary context-free
+//     grammars, in both the paper's copying formulation and a
+//     graph-structured-stack formulation with shared parse forests;
+//   - conventional LR(0) (the paper's "PG") and LALR(1) (the "Yacc"
+//     baseline) table generators;
+//   - Earley, LL(1)/recursive-descent, Cigale-trie and OBJ-backtracking
+//     baseline parsers (the comparison matrix of Fig 2.1);
+//   - ISG, the companion lazy/incremental scanner generator;
+//   - a working subset of SDF, the Syntax Definition Formalism, so
+//     grammars can be written the way the paper's users wrote them.
+//
+// The core promise of IPG: parsing can start immediately on a new or
+// freshly modified grammar, the parse table is generated only as far as
+// the input sentences need it, and a grammar modification invalidates
+// only the table parts it affects.
+//
+// # Quick start
+//
+//	g, _ := ipg.ParseGrammar(`
+//	    START ::= E
+//	    E ::= E "+" E | "x"
+//	`)
+//	p, _ := ipg.NewParser(g, nil)
+//	res, _ := p.Parse(p.MustTokens("x + x"))
+//	fmt.Println(res.Accepted)
+package ipg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"ipg/internal/core"
+	"ipg/internal/forest"
+	"ipg/internal/glr"
+	"ipg/internal/grammar"
+	"ipg/internal/isg"
+	"ipg/internal/lalr"
+	"ipg/internal/lr"
+	"ipg/internal/priority"
+	"ipg/internal/sdf"
+)
+
+// Re-exported grammar vocabulary. Symbols are interned integers; a
+// Grammar owns (or shares) a SymbolTable and a modifiable rule set.
+type (
+	// Grammar is a modifiable context-free grammar.
+	Grammar = grammar.Grammar
+	// Rule is a single syntax rule A ::= α.
+	Rule = grammar.Rule
+	// Symbol is an interned terminal or nonterminal.
+	Symbol = grammar.Symbol
+	// SymbolTable interns symbol names.
+	SymbolTable = grammar.SymbolTable
+	// Forest is a shared parse forest.
+	Forest = forest.Forest
+	// Node is a parse forest node.
+	Node = forest.Node
+	// NodeKind discriminates forest nodes.
+	NodeKind = forest.Kind
+	// Token is a scanned token (SDF-loaded parsers).
+	Token = isg.Token
+	// LexRule is an ISG lexical rule, for extending an SDF-loaded
+	// parser's scanner at run time.
+	LexRule = isg.Rule
+)
+
+// LiteralTokenRule builds a lexical rule matching exactly text, emitting
+// a token whose sort is the text itself — the convention the SDF
+// converter uses for keywords and punctuation, so grammar rules can
+// reference the new terminal by the same name.
+func LiteralTokenRule(text string) LexRule {
+	return isg.Rule{Sort: text, Pattern: isg.Lit(text)}
+}
+
+// Forest node kinds.
+const (
+	// LeafNode is a terminal occurrence.
+	LeafNode = forest.Leaf
+	// RuleNode is a rule application.
+	RuleNode = forest.RuleNode
+	// AmbNode packs alternative derivations.
+	AmbNode = forest.Amb
+)
+
+// Engine selects the parsing algorithm; see the glr package constants
+// re-exported below.
+type Engine = glr.Engine
+
+// Parsing engines.
+const (
+	// Copying is the paper's PAR-PARSE: parser copies with shared stacks.
+	Copying = glr.Copying
+	// GSS is the graph-structured-stack engine with packed forests.
+	GSS = glr.GSS
+	// Deterministic is plain LR-PARSE; it fails on table conflicts.
+	Deterministic = glr.Deterministic
+)
+
+// GCPolicy selects how the incremental generator treats states orphaned
+// by grammar modifications (section 6.2 of the paper).
+type GCPolicy = core.Policy
+
+// Garbage-collection policies.
+const (
+	// GCRefCount is the paper's deferred reference-counting collector.
+	GCRefCount = core.PolicyRefCount
+	// GCRetainAll never removes states.
+	GCRetainAll = core.PolicyRetainAll
+	// GCEagerSweep sweeps after every modification.
+	GCEagerSweep = core.PolicyEagerSweep
+)
+
+// TableKind selects the parse-table construction.
+type TableKind uint8
+
+const (
+	// LR0 tables (the paper's choice: fast to generate, more parser
+	// splitting). Required for incremental generation.
+	LR0 TableKind = iota
+	// LALR1 tables (the Yacc baseline: slower generation, fewer
+	// conflicts). LALR tables are generated eagerly and regenerated from
+	// scratch on modification — exactly the asymmetry the paper
+	// measures.
+	LALR1
+)
+
+// Options configures NewParser. The zero value (nil) gives the paper's
+// IPG: lazy incremental LR(0) generation driving the GSS engine.
+type Options struct {
+	// Table selects LR0 (default) or LALR1.
+	Table TableKind
+	// Eager generates the full table up front (the paper's PG) instead
+	// of lazily during parsing.
+	Eager bool
+	// Engine selects the parse algorithm (default GSS).
+	Engine Engine
+	// GC selects the incremental garbage-collection policy.
+	GC GCPolicy
+	// DisableTrees skips parse forest construction.
+	DisableTrees bool
+}
+
+// ErrNotIncremental is returned by AddRule/DeleteRule on parsers whose
+// table kind does not support incremental update (LALR1).
+var ErrNotIncremental = errors.New("ipg: LALR(1) tables cannot be updated incrementally; rebuild the parser")
+
+// Parser couples a grammar, a (lazily or eagerly generated) parse table
+// and a parsing engine. With the default options it is the paper's IPG
+// system: NewParser returns immediately, table parts materialize during
+// Parse, and AddRule/DeleteRule splice grammar changes into the existing
+// table.
+type Parser struct {
+	g          *grammar.Grammar
+	opts       Options
+	gen        *core.Generator    // LR0 path (lazy/incremental)
+	lalrTbl    *lalr.Table        // LALR1 path
+	scanner    *isg.Scanner       // optional, set by SDF loading
+	priorities *priority.Relation // optional, set by SDF loading
+}
+
+// NewParser builds a parser for g. With default options no table
+// generation happens here — parsing can start immediately.
+func NewParser(g *Grammar, opts *Options) (*Parser, error) {
+	if g == nil {
+		return nil, errors.New("ipg: nil grammar")
+	}
+	p := &Parser{g: g}
+	if opts != nil {
+		p.opts = *opts
+	}
+	switch p.opts.Table {
+	case LR0:
+		p.gen = core.New(g, &core.Options{Policy: p.opts.GC})
+		if p.opts.Eager {
+			p.gen.Pregenerate()
+		}
+	case LALR1:
+		p.lalrTbl = lalr.Generate(g)
+	default:
+		return nil, fmt.Errorf("ipg: unknown table kind %d", p.opts.Table)
+	}
+	return p, nil
+}
+
+// ParseGrammar reads a grammar from the plain-text BNF format:
+//
+//	START ::= E
+//	E ::= E "+" T | T      # alternatives and comments
+//	T ::= "x" | ε          # quoted terminals, epsilon rules
+//
+// Bare names are nonterminals if defined anywhere in the text, terminals
+// otherwise.
+func ParseGrammar(text string) (*Grammar, error) {
+	return grammar.Parse(text, nil)
+}
+
+// Grammar returns the parser's grammar. Modify it only through AddRule
+// and DeleteRule.
+func (p *Parser) Grammar() *Grammar { return p.g }
+
+// Table exposes the underlying parse table (for dumps and diagnostics).
+func (p *Parser) Table() lr.Table {
+	if p.gen != nil {
+		return p.gen
+	}
+	return p.lalrTbl
+}
+
+// Generator exposes the incremental generator, or nil for LALR tables.
+func (p *Parser) Generator() *core.Generator { return p.gen }
+
+// Result is the outcome of a parse.
+type Result = glr.Result
+
+// Parse parses a terminal stream (the end marker is appended
+// automatically).
+func (p *Parser) Parse(input []Symbol) (Result, error) {
+	engine := p.opts.Engine
+	return glr.Parse(p.Table(), input, &glr.Options{
+		Engine:       engine,
+		DisableTrees: p.opts.DisableTrees,
+	})
+}
+
+// Recognize reports acceptance without building trees.
+func (p *Parser) Recognize(input []Symbol) (bool, error) {
+	return glr.Recognize(p.Table(), input, p.opts.Engine)
+}
+
+// Tokens converts whitespace-separated terminal names into a token
+// stream. Unknown names are an error.
+func (p *Parser) Tokens(text string) ([]Symbol, error) {
+	var out []Symbol
+	start := -1
+	flush := func(end int) error {
+		if start < 0 {
+			return nil
+		}
+		word := text[start:end]
+		start = -1
+		s, ok := p.g.Symbols().Lookup(word)
+		if !ok {
+			return fmt.Errorf("ipg: unknown token %q", word)
+		}
+		if p.g.Symbols().Kind(s) != grammar.Terminal {
+			return fmt.Errorf("ipg: %q is not a terminal", word)
+		}
+		out = append(out, s)
+		return nil
+	}
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case ' ', '\t', '\n', '\r':
+			if err := flush(i); err != nil {
+				return nil, err
+			}
+		default:
+			if start < 0 {
+				start = i
+			}
+		}
+	}
+	if err := flush(len(text)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MustTokens is Tokens that panics on unknown names; convenient in
+// examples and tests.
+func (p *Parser) MustTokens(text string) []Symbol {
+	toks, err := p.Tokens(text)
+	if err != nil {
+		panic(err)
+	}
+	return toks
+}
+
+// AddRule adds a rule and incrementally updates the parse table
+// (ADD-RULE, section 6).
+func (p *Parser) AddRule(r *Rule) error {
+	if p.gen == nil {
+		return ErrNotIncremental
+	}
+	return p.gen.AddRule(r)
+}
+
+// DeleteRule removes a rule and incrementally updates the parse table
+// (DELETE-RULE, section 6).
+func (p *Parser) DeleteRule(r *Rule) error {
+	if p.gen == nil {
+		return ErrNotIncremental
+	}
+	return p.gen.DeleteRule(r)
+}
+
+// AddRulesText parses BNF rule lines (sharing this parser's symbol
+// table) and adds each rule incrementally. It returns the added rules.
+func (p *Parser) AddRulesText(text string) ([]*Rule, error) {
+	if p.gen == nil {
+		return nil, ErrNotIncremental
+	}
+	tmp, err := grammar.Parse(text, p.g.Symbols())
+	if err != nil {
+		return nil, err
+	}
+	var added []*Rule
+	for _, r := range tmp.Rules() {
+		if err := p.gen.AddRule(r); err != nil {
+			return added, err
+		}
+		added = append(added, r)
+	}
+	return added, nil
+}
+
+// DeleteRulesText parses BNF rule lines and deletes each rule
+// incrementally.
+func (p *Parser) DeleteRulesText(text string) error {
+	if p.gen == nil {
+		return ErrNotIncremental
+	}
+	tmp, err := grammar.Parse(text, p.g.Symbols())
+	if err != nil {
+		return err
+	}
+	for _, r := range tmp.Rules() {
+		if err := p.gen.DeleteRule(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats reports generation progress: how much of the parse table exists,
+// and how much work generation has performed so far.
+type Stats struct {
+	// States is the number of states currently in the graph of item
+	// sets; Complete of them are expanded, Initial and Dirty are not.
+	States, Complete, Initial, Dirty int
+	// Expansions counts EXPAND calls so far.
+	Expansions int
+	// StatesRemoved counts garbage-collected states.
+	StatesRemoved int
+}
+
+// Stats returns generation statistics (zero value for LALR tables, which
+// are always fully generated).
+func (p *Parser) Stats() Stats {
+	if p.gen == nil {
+		n := p.lalrTbl.Automaton().Len()
+		return Stats{States: n, Complete: n}
+	}
+	cov := p.gen.Coverage()
+	return Stats{
+		States:        cov.Initial + cov.Complete + cov.Dirty,
+		Complete:      cov.Complete,
+		Initial:       cov.Initial,
+		Dirty:         cov.Dirty,
+		Expansions:    cov.Expansions,
+		StatesRemoved: cov.StatesRemoved,
+	}
+}
+
+// TableString renders the tabular ACTION/GOTO form of the current graph
+// of item sets (Fig 4.1b); ungenerated states render as '·'.
+func (p *Parser) TableString() string {
+	if p.gen != nil {
+		return p.gen.Automaton().FormatTable()
+	}
+	return p.lalrTbl.Automaton().FormatTable()
+}
+
+// GraphString renders the graph of item sets as text.
+func (p *Parser) GraphString() string {
+	if p.gen != nil {
+		return p.gen.Automaton().Dump()
+	}
+	return p.lalrTbl.Automaton().Dump()
+}
+
+// DOT renders the graph of item sets in Graphviz format.
+func (p *Parser) DOT() string {
+	if p.gen != nil {
+		return p.gen.Automaton().DOT()
+	}
+	return p.lalrTbl.Automaton().DOT()
+}
+
+// SaveTable persists the current graph of item sets — including its lazy
+// frontier, so a later session resumes exactly where this one stopped
+// generating. Only LR(0) tables are persistable.
+func (p *Parser) SaveTable(w io.Writer) error {
+	if p.gen == nil {
+		return errors.New("ipg: LALR(1) tables are not persistable")
+	}
+	return p.gen.Automaton().Save(w)
+}
+
+// NewParserFromTable rebuilds a parser from a table saved by SaveTable.
+// The grammar must still contain every rule the table references (use
+// the same grammar text the table was generated from).
+func NewParserFromTable(g *Grammar, r io.Reader, opts *Options) (*Parser, error) {
+	if opts != nil && opts.Table != LR0 {
+		return nil, errors.New("ipg: only LR(0) tables are persistable")
+	}
+	auto, err := lr.Load(g, r)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{g: g}
+	if opts != nil {
+		p.opts = *opts
+	}
+	gcOpts := &core.Options{}
+	if opts != nil {
+		gcOpts.Policy = opts.GC
+	}
+	p.gen = core.NewFromAutomaton(auto, gcOpts)
+	return p, nil
+}
+
+// ErrorMessage renders a human-readable diagnostic for a rejected parse:
+// the failing token position and the terminals that would have been
+// accepted there. It returns "" for accepted results.
+func (p *Parser) ErrorMessage(res Result, input []Symbol) string {
+	if res.Accepted || res.ErrorPos < 0 {
+		return ""
+	}
+	syms := p.g.Symbols()
+	found := "end of input"
+	if res.ErrorPos < len(input) {
+		found = fmt.Sprintf("%q", syms.Name(input[res.ErrorPos]))
+	}
+	var expected []string
+	for _, s := range res.Expected {
+		if s == grammar.EOF {
+			expected = append(expected, "end of input")
+			continue
+		}
+		expected = append(expected, fmt.Sprintf("%q", syms.Name(s)))
+	}
+	msg := fmt.Sprintf("ipg: syntax error at token %d: found %s", res.ErrorPos, found)
+	if len(expected) > 0 {
+		msg += ", expected " + strings.Join(expected, " or ")
+	}
+	return msg
+}
+
+// TreeCount returns the number of parse trees in a result's forest.
+func TreeCount(n *Node) (int64, error) { return forest.TreeCount(n) }
+
+// TreeString renders a forest in bracketed form with {a | b} ambiguity
+// groups.
+func (p *Parser) TreeString(n *Node) string {
+	return forest.String(n, p.g.Symbols())
+}
+
+// Trees enumerates up to limit parse trees as bracketed strings.
+func (p *Parser) Trees(n *Node, limit int) ([]string, error) {
+	return forest.Trees(n, p.g.Symbols(), limit)
+}
+
+// LoadSDF parses an SDF definition (the paper's Syntax Definition
+// Formalism, Appendix B), generates its scanner with ISG and returns a
+// parser for the defined language. startSort selects the start sort ("" =
+// the result sort of the first context-free function).
+func LoadSDF(src, startSort string, opts *Options) (*Parser, error) {
+	def, err := sdf.ParseDefinition(src)
+	if err != nil {
+		return nil, err
+	}
+	conv, err := sdf.Convert(def, startSort)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := conv.Scanner()
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewParser(conv.Grammar, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.scanner = sc
+	p.priorities = conv.Relation
+	return p, nil
+}
+
+// Disambiguate applies the SDF priority and associativity filters of an
+// SDF-loaded grammar to a parse result, pruning forbidden derivations
+// from the forest. When every derivation is forbidden the result becomes
+// rejected. It is a no-op for grammars without priorities and for
+// results without trees.
+func (p *Parser) Disambiguate(res *Result) error {
+	if p.priorities == nil || res.Root == nil {
+		return nil
+	}
+	filtered, err := p.priorities.Filter(res.Forest, res.Root)
+	if err != nil {
+		if errors.Is(err, priority.ErrNoValidParse) {
+			res.Accepted = false
+			res.Root = nil
+			return nil
+		}
+		return err
+	}
+	res.Root = filtered
+	return nil
+}
+
+// Scanner returns the ISG scanner of an SDF-loaded parser (nil
+// otherwise).
+func (p *Parser) Scanner() *isg.Scanner { return p.scanner }
+
+// ScanText tokenizes src with the parser's ISG scanner. The symbol slice
+// feeds Parse; the token slice carries the matched texts and positions
+// (forest leaves index into it via Node.Pos). It requires an SDF-loaded
+// parser.
+func (p *Parser) ScanText(src string) ([]Symbol, []Token, error) {
+	if p.scanner == nil {
+		return nil, nil, errors.New("ipg: ScanText requires a parser loaded from SDF (use LoadSDF)")
+	}
+	return sdf.TokenizeWith(p.scanner, src, p.g.Symbols())
+}
+
+// ParseText scans src with the parser's ISG scanner, parses the token
+// stream, and applies the grammar's priority/associativity filters. It
+// requires an SDF-loaded parser.
+func (p *Parser) ParseText(src string) (Result, error) {
+	toks, _, err := p.ScanText(src)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := p.Parse(toks)
+	if err != nil {
+		return res, err
+	}
+	if err := p.Disambiguate(&res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
