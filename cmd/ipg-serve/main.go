@@ -1,0 +1,102 @@
+// ipg-serve runs the concurrent parse service: an HTTP/JSON front end
+// over the grammar registry, where every registered grammar owns one
+// shared, lazily generated parse table that all concurrent requests
+// reuse, and rule updates splice into the table instead of rebuilding
+// it.
+//
+// Usage:
+//
+//	ipg-serve [-addr :8080] [-grammar name=path ...]
+//
+// Each -grammar flag preloads a grammar file at startup (.sdf files load
+// as SDF definitions, anything else as plain BNF). Example session:
+//
+//	ipg-serve -grammar calc=testdata/Calc.sdf &
+//	curl -s localhost:8080/v1/grammars
+//	curl -s -X POST localhost:8080/v1/grammars/calc/parse \
+//	     -d '{"input":"1 + 2 * 3","trees":true}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ipg/internal/registry"
+	"ipg/internal/serve"
+)
+
+// grammarFlags collects repeated -grammar name=path flags.
+type grammarFlags []string
+
+func (g *grammarFlags) String() string { return strings.Join(*g, ",") }
+
+func (g *grammarFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*g = append(*g, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8080", "listen address")
+	var grammars grammarFlags
+	flag.Var(&grammars, "grammar", "preload a grammar: name=path (repeatable; .sdf = SDF definition)")
+	flag.Parse()
+
+	reg := registry.New()
+	for _, spec := range grammars {
+		name, path, _ := strings.Cut(spec, "=")
+		src, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("preload %s: %v", name, err)
+		}
+		form := registry.FormRules
+		if strings.HasSuffix(path, ".sdf") {
+			form = registry.FormSDF
+		}
+		if _, err := reg.Register(name, registry.Spec{Source: string(src), Form: form}); err != nil {
+			log.Fatalf("preload %s: %v", name, err)
+		}
+		log.Printf("loaded grammar %q from %s", name, path)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(reg).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ipg-serve listening on %s (%d grammars)", *addr, reg.Len())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module ipg
+
+go 1.24

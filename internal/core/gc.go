@@ -55,8 +55,15 @@ func (gen *Generator) decrRefCount(s *lr.State) {
 // current transitions of complete states and the history of dirty states
 // (which may be re-linked by later re-expansions). This is the
 // "conventional mark-and-sweep garbage collector" the paper proposes for
-// cyclic garbage; it returns the number of states removed.
+// cyclic garbage; it returns the number of states removed. It takes
+// exclusive access to the table, like a modification.
 func (gen *Generator) MarkSweep() int {
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
+	return gen.markSweepLocked()
+}
+
+func (gen *Generator) markSweepLocked() int {
 	gen.Sweeps++
 	start := gen.auto.Start()
 	reachable := map[*lr.State]bool{start: true}
@@ -113,6 +120,6 @@ func (gen *Generator) maybeSweep() {
 	}
 	_, _, dirty := gen.auto.TypeCounts()
 	if float64(dirty)/float64(total) > gen.threshold {
-		gen.MarkSweep()
+		gen.markSweepLocked()
 	}
 }

@@ -24,6 +24,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ipg/internal/grammar"
 	"ipg/internal/lr"
@@ -96,13 +98,49 @@ func (o *Options) sweepThreshold() float64 {
 //
 // All grammar modifications must go through AddRule/DeleteRule (or
 // AddGrammar); mutating the grammar behind the generator's back is a
-// programming error that Actions detects and reports by panicking.
+// programming error that the generator detects and reports by panicking
+// at the next Start call (every parse begins with one) or lazy
+// expansion. Already-expanded states serve actions without re-checking,
+// so detection is per parse, not per action.
+//
+// # Concurrency
+//
+// One generator (and thus one lazily expanding table) may be shared by
+// many goroutines under the following discipline:
+//
+//   - Every parse is bracketed by BeginParse/EndParse, which take shared
+//     (read) access. Concurrent parses expand states cooperatively: the
+//     already-expanded hot path is a single atomic load per state (the
+//     state's publication flag), and expansion of a still-initial state
+//     is double-checked under an internal expansion mutex so each state
+//     is expanded exactly once no matter how many parses race to it.
+//   - AddRule/DeleteRule/AddGrammar/MarkSweep/Pregenerate take exclusive
+//     (write) access internally, so a modification never tears a running
+//     parse: a parse sees the table either entirely before or entirely
+//     after each modification.
+//
+// Single-goroutine use needs no bracketing; all methods remain safe to
+// call unlocked when nothing runs concurrently.
 type Generator struct {
 	auto      *lr.Automaton
 	g         *grammar.Grammar
 	policy    Policy
 	threshold float64
 	version   uint64
+
+	// mu is the table-wide reader/writer lock: parses (BeginParse/
+	// EndParse) hold it shared, modifications and GC hold it exclusive.
+	mu sync.RWMutex
+	// expandMu serializes lazy state expansion among concurrent parses
+	// (which only hold mu shared). Lock order: mu before expandMu.
+	expandMu sync.Mutex
+
+	// Atomic counters for the concurrent parse service.
+	actionCalls       atomic.Uint64
+	cacheHits         atomic.Uint64
+	statesExpanded    atomic.Uint64
+	statesInvalidated atomic.Uint64
+	parsesServed      atomic.Uint64
 
 	// Sweeps counts mark-and-sweep passes (for the GC ablation).
 	Sweeps int
@@ -151,10 +189,35 @@ func (gen *Generator) Start() *lr.State {
 // state is still initial (or dirty after a modification) it is expanded
 // first; the action set is then deduced from the transitions and
 // reductions fields.
+//
+// The already-expanded path costs one atomic load (the state's
+// publication flag) plus two counter increments; expansion of a fresh
+// state is double-checked under the expansion mutex so concurrent parses
+// expand each state exactly once. The shared counter increments put one
+// cache line on the per-token hot path — a deliberate tradeoff for
+// always-on service metrics; shard or batch them per parse if they ever
+// show up in profiles on many-core machines.
 func (gen *Generator) Actions(s *lr.State, sym grammar.Symbol) []lr.Action {
+	gen.actionCalls.Add(1)
+	if s.Published() {
+		gen.cacheHits.Add(1)
+	} else {
+		gen.expandSlow(s)
+	}
+	return lr.ActionsOf(s, sym)
+}
+
+// expandSlow is the cold half of Actions: it serializes racing parses on
+// the expansion mutex and re-checks the publication flag, so the parse
+// that loses the race reuses the winner's expansion.
+func (gen *Generator) expandSlow(s *lr.State) {
+	gen.expandMu.Lock()
+	defer gen.expandMu.Unlock()
+	if s.Published() {
+		return
+	}
 	gen.checkVersion()
 	gen.ensureComplete(s)
-	return lr.ActionsOf(s, sym)
 }
 
 // Goto implements lr.Table. Appendix A proves GOTO is only called on
@@ -164,14 +227,73 @@ func (gen *Generator) Goto(s *lr.State, sym grammar.Symbol) *lr.State {
 	return lr.GotoOf(s, sym)
 }
 
-// ensureComplete expands an initial or dirty state in place.
+// ensureComplete expands an initial or dirty state in place. Callers
+// must hold either the expansion mutex (parse path) or exclusive access
+// (modification path).
 func (gen *Generator) ensureComplete(s *lr.State) {
 	switch s.Type {
 	case lr.Complete:
+		// Already complete but not yet published (e.g. generated before
+		// any concurrent machinery ran): publish so the fast path sticks.
+		s.Publish()
 	case lr.Initial:
 		gen.auto.Expand(s)
+		gen.statesExpanded.Add(1)
 	case lr.Dirty:
 		gen.reExpand(s)
+		gen.statesExpanded.Add(1)
+	}
+}
+
+// BeginParse takes shared access to the table for the duration of one
+// parse. While any parse holds it, AddRule/DeleteRule/GC block, so the
+// parse observes the table either entirely before or entirely after
+// each modification — never a torn state. Always pair with EndParse.
+func (gen *Generator) BeginParse() { gen.mu.RLock() }
+
+// EndParse releases the shared access taken by BeginParse and counts the
+// parse as served.
+func (gen *Generator) EndParse() {
+	gen.parsesServed.Add(1)
+	gen.mu.RUnlock()
+}
+
+// Counters is a consistent-enough snapshot of the generator's atomic
+// work counters (each field is individually exact; the set is sampled
+// without a lock).
+type Counters struct {
+	// ActionCalls counts Actions invocations — the parse hot path.
+	ActionCalls uint64
+	// CacheHits counts Actions calls answered by an already-expanded
+	// (published) state without taking any lock.
+	CacheHits uint64
+	// StatesExpanded counts lazy expansions, including re-expansions of
+	// dirty states.
+	StatesExpanded uint64
+	// StatesInvalidated counts states made initial or dirty by grammar
+	// modifications.
+	StatesInvalidated uint64
+	// ParsesServed counts BeginParse/EndParse pairs.
+	ParsesServed uint64
+}
+
+// HitRate is the fraction of Actions calls served from already-expanded
+// states (0 when no actions have been requested yet).
+func (c Counters) HitRate() float64 {
+	if c.ActionCalls == 0 {
+		return 0
+	}
+	return float64(c.CacheHits) / float64(c.ActionCalls)
+}
+
+// Counters samples the generator's work counters.
+func (gen *Generator) Counters() Counters {
+	return Counters{
+		ActionCalls:       gen.actionCalls.Load(),
+		CacheHits:         gen.cacheHits.Load(),
+		StatesExpanded:    gen.statesExpanded.Load(),
+		StatesInvalidated: gen.statesInvalidated.Load(),
+		ParsesServed:      gen.parsesServed.Load(),
 	}
 }
 
@@ -185,8 +307,11 @@ func (gen *Generator) checkVersion() {
 // Pregenerate expands every state reachable from the start state,
 // producing the same table a conventional generator would (useful for
 // measuring lazy coverage and for warm-start comparisons). Unreachable
-// garbage retained by the GC policy is not expanded.
+// garbage retained by the GC policy is not expanded. It takes exclusive
+// access; do not call while holding BeginParse.
 func (gen *Generator) Pregenerate() {
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
 	gen.checkVersion()
 	seen := map[*lr.State]bool{}
 	queue := []*lr.State{gen.auto.Start()}
@@ -217,8 +342,13 @@ type CoverageStats struct {
 	StatesCreated, StatesRemoved int
 }
 
-// Coverage reports generation progress.
+// Coverage reports generation progress. It takes shared access plus the
+// expansion mutex, so it may be called while other goroutines parse.
 func (gen *Generator) Coverage() CoverageStats {
+	gen.mu.RLock()
+	defer gen.mu.RUnlock()
+	gen.expandMu.Lock()
+	defer gen.expandMu.Unlock()
 	i, c, d := gen.auto.TypeCounts()
 	return CoverageStats{
 		Initial:       i,

@@ -7,8 +7,16 @@ import (
 
 // AddRule adds rule to the grammar and updates the corresponding graph of
 // item sets (ADD-RULE, section 6.1). Affected states are invalidated and
-// re-expanded by need during subsequent parses.
+// re-expanded by need during subsequent parses. It takes exclusive access
+// to the table: concurrent parses bracketed by BeginParse/EndParse see
+// the table entirely before or entirely after the modification.
 func (gen *Generator) AddRule(rule *grammar.Rule) error {
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
+	return gen.addRuleLocked(rule)
+}
+
+func (gen *Generator) addRuleLocked(rule *grammar.Rule) error {
 	gen.checkVersion()
 	if err := gen.g.AddRule(rule); err != nil {
 		return err
@@ -18,8 +26,11 @@ func (gen *Generator) AddRule(rule *grammar.Rule) error {
 }
 
 // DeleteRule deletes rule from the grammar and updates the graph of item
-// sets (DELETE-RULE, section 6.1).
+// sets (DELETE-RULE, section 6.1). Like AddRule it takes exclusive
+// access.
 func (gen *Generator) DeleteRule(rule *grammar.Rule) error {
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
 	gen.checkVersion()
 	if _, err := gen.g.DeleteRule(rule); err != nil {
 		return err
@@ -32,14 +43,16 @@ func (gen *Generator) DeleteRule(rule *grammar.Rule) error {
 // asymmetric form of modular parser composition discussed in section 8
 // ("adding the grammar of one module to the grammar of the other"). The
 // grammars must share a symbol table. It returns the number of rules
-// added.
+// added. The whole batch happens under one exclusive critical section.
 func (gen *Generator) AddGrammar(other *grammar.Grammar) (int, error) {
+	gen.mu.Lock()
+	defer gen.mu.Unlock()
 	n := 0
 	for _, r := range other.Rules() {
 		if gen.g.Has(r) {
 			continue
 		}
-		if err := gen.AddRule(r); err != nil {
+		if err := gen.addRuleLocked(r); err != nil {
 			return n, err
 		}
 		n++
@@ -81,7 +94,7 @@ func (gen *Generator) modifyGraph(rule *grammar.Rule) {
 		}
 	}
 	if gen.policy == PolicyEagerSweep {
-		gen.MarkSweep()
+		gen.markSweepLocked()
 	} else if gen.policy == PolicyRefCount && gen.threshold >= 0 {
 		gen.maybeSweep()
 	}
@@ -91,6 +104,8 @@ func (gen *Generator) modifyGraph(rule *grammar.Rule) {
 // (reference-counting policies), so the lazy generator re-expands it when
 // the parser needs it again.
 func (gen *Generator) invalidate(s *lr.State) {
+	s.Unpublish()
+	gen.statesInvalidated.Add(1)
 	switch gen.policy {
 	case PolicyRefCount:
 		// Section 6.2: make it dirty — an initial set of items with a

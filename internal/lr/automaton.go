@@ -196,6 +196,7 @@ func (a *Automaton) Expand(s *State) []*State {
 		succ.RefCount++
 	}
 	s.Type = Complete
+	s.Publish()
 	return created
 }
 

@@ -228,6 +228,9 @@ func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 			return nil, fmt.Errorf("lr: states %d and %d share a kernel", other.ID, s.ID)
 		}
 		a.states[key] = s
+		if s.Type == Complete {
+			s.Publish()
+		}
 	}
 	for _, pt := range trans {
 		to, ok := byID[pt.to]

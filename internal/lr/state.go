@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"ipg/internal/grammar"
 )
@@ -74,7 +75,28 @@ type State struct {
 	// references the re-expansion no longer creates.
 	OldTransitions map[grammar.Symbol]*State
 	OldAccept      bool
+
+	// published is the concurrent-read publication flag: stored (with
+	// release semantics) after Expand has filled Transitions/Reductions/
+	// Accept, and cleared when a modification invalidates the state. A
+	// reader that observes it true may use those fields without holding
+	// any lock; a reader that observes it false must fall back to the
+	// generator's expansion path. Writers (expansion, modification,
+	// garbage collection) must already exclude each other.
+	published atomic.Bool
 }
+
+// Published reports, with acquire semantics, whether the state's
+// expansion has been published for lock-free concurrent reads.
+func (s *State) Published() bool { return s.published.Load() }
+
+// Publish marks the state's expansion visible to concurrent readers.
+// Call only after Transitions/Reductions/Accept are fully written.
+func (s *State) Publish() { s.published.Store(true) }
+
+// Unpublish retracts the publication before invalidating the state.
+// Call only while writers exclude all readers.
+func (s *State) Unpublish() { s.published.Store(false) }
 
 // TransitionSymbols returns the symbols with outgoing transitions in a
 // deterministic order (sorted by symbol ID, i.e. interning order).

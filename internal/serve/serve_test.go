@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const boolSrc = `
+START ::= B
+B ::= "true" | "false"
+B ::= B "or" B | B "and" B
+`
+
+const calcSDF = `module Calc
+begin
+  lexical syntax
+    sorts DIGIT, NAT
+    layout SPACE
+    functions
+      [0-9]    -> DIGIT
+      DIGIT+   -> NAT
+      [\ \t\n] -> SPACE
+  context-free syntax
+    sorts EXP
+    priorities
+      EXP "*" EXP -> EXP > EXP "+" EXP -> EXP
+    functions
+      NAT         -> EXP
+      EXP "+" EXP -> EXP {left-assoc}
+      EXP "*" EXP -> EXP {left-assoc}
+end Calc
+`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(nil).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func do(t *testing.T, method, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == nil {
+		rd = strings.NewReader("")
+	} else {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = strings.NewReader(string(b))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decode: %v", method, url, err)
+	}
+	return resp, out
+}
+
+func TestHealthAndStats(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := do(t, "GET", ts.URL+"/healthz", nil)
+	if resp.StatusCode != 200 || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", resp.StatusCode, body)
+	}
+	resp, body = do(t, "GET", ts.URL+"/v1/stats", nil)
+	if resp.StatusCode != 200 || body["grammars"].(float64) != 0 {
+		t.Fatalf("stats: %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestRegisterParseLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Register a BNF grammar.
+	resp, body := do(t, "PUT", ts.URL+"/v1/grammars/bool", map[string]any{"source": boolSrc})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %v", resp.StatusCode, body)
+	}
+	if body["form"] != "rules" || body["version"].(float64) != 1 {
+		t.Errorf("register body: %v", body)
+	}
+
+	// Parse through it.
+	resp, body = do(t, "POST", ts.URL+"/v1/grammars/bool/parse",
+		map[string]any{"input": "true or false", "trees": true, "render": true})
+	if resp.StatusCode != 200 || body["accepted"] != true {
+		t.Fatalf("parse: %d %v", resp.StatusCode, body)
+	}
+	if body["trees"].(float64) != 1 || !strings.Contains(body["forest"].(string), "or") {
+		t.Errorf("parse body: %v", body)
+	}
+
+	// Rejections carry diagnostics.
+	_, body = do(t, "POST", ts.URL+"/v1/grammars/bool/parse",
+		map[string]any{"input": "true or or"})
+	if body["accepted"] != false || body["error_pos"].(float64) != 2 {
+		t.Errorf("rejection body: %v", body)
+	}
+
+	// Info reflects lazy generation.
+	_, body = do(t, "GET", ts.URL+"/v1/grammars/bool", nil)
+	if body["parses_served"].(float64) < 2 || body["states_expanded"].(float64) == 0 {
+		t.Errorf("info body: %v", body)
+	}
+
+	// Incremental modification through the API.
+	resp, body = do(t, "POST", ts.URL+"/v1/grammars/bool/rules",
+		map[string]any{"add": `B ::= "not" B`})
+	if resp.StatusCode != 200 || body["added"].(float64) != 1 || body["version"].(float64) != 2 {
+		t.Fatalf("rules: %d %v", resp.StatusCode, body)
+	}
+	_, body = do(t, "POST", ts.URL+"/v1/grammars/bool/parse",
+		map[string]any{"input": "not true"})
+	if body["accepted"] != true {
+		t.Errorf("extension not live: %v", body)
+	}
+
+	// List then remove.
+	_, body = do(t, "GET", ts.URL+"/v1/grammars", nil)
+	if n := len(body["grammars"].([]any)); n != 1 {
+		t.Errorf("list: %d entries", n)
+	}
+	resp, _ = do(t, "DELETE", ts.URL+"/v1/grammars/bool", nil)
+	if resp.StatusCode != 200 {
+		t.Errorf("delete: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "GET", ts.URL+"/v1/grammars/bool", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("after delete: %d", resp.StatusCode)
+	}
+}
+
+func TestSDFGrammarOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := do(t, "PUT", ts.URL+"/v1/grammars/calc", map[string]any{"source": calcSDF})
+	if resp.StatusCode != http.StatusCreated || body["form"] != "sdf" {
+		t.Fatalf("register: %d %v", resp.StatusCode, body)
+	}
+	_, body = do(t, "POST", ts.URL+"/v1/grammars/calc/parse",
+		map[string]any{"input": "1 + 2 * 3", "trees": true})
+	if body["accepted"] != true || body["trees"].(float64) != 1 || body["ambiguous"] != false {
+		t.Errorf("priorities should leave one tree: %v", body)
+	}
+}
+
+func TestBatchWorkerPool(t *testing.T) {
+	ts := newTestServer(t)
+	do(t, "PUT", ts.URL+"/v1/grammars/calc", map[string]any{"source": calcSDF})
+
+	inputs := make([]any, 0, 40)
+	for i := 0; i < 40; i++ {
+		if i%4 == 3 {
+			inputs = append(inputs, "1 + + 2") // rejected
+		} else {
+			inputs = append(inputs, "1 + 2 * 3")
+		}
+	}
+	resp, body := do(t, "POST", ts.URL+"/v1/grammars/calc/batch",
+		map[string]any{"inputs": inputs, "workers": 4, "trees": true})
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d %v", resp.StatusCode, body)
+	}
+	if body["accepted"].(float64) != 30 || body["rejected"].(float64) != 10 {
+		t.Errorf("batch totals: accepted=%v rejected=%v errors=%v",
+			body["accepted"], body["rejected"], body["errors"])
+	}
+	if body["workers"].(float64) != 4 {
+		t.Errorf("workers: %v", body["workers"])
+	}
+	if n := len(body["results"].([]any)); n != 40 {
+		t.Errorf("results: %d", n)
+	}
+	// Scan errors are per-item, not batch-fatal.
+	resp, body = do(t, "POST", ts.URL+"/v1/grammars/calc/batch",
+		map[string]any{"inputs": []any{"1 + 2", "@@@"}})
+	if resp.StatusCode != 200 || body["errors"].(float64) != 1 || body["accepted"].(float64) != 1 {
+		t.Errorf("mixed batch: %d %v", resp.StatusCode, body)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := do(t, "POST", ts.URL+"/v1/grammars/nope/parse", map[string]any{"input": "x"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown grammar: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "PUT", ts.URL+"/v1/grammars/bad", map[string]any{"source": "START ::"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad source: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "PUT", ts.URL+"/v1/grammars/bad", map[string]any{"source": boolSrc, "form": "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad form: %d", resp.StatusCode)
+	}
+	do(t, "PUT", ts.URL+"/v1/grammars/bool", map[string]any{"source": boolSrc})
+	resp, _ = do(t, "POST", ts.URL+"/v1/grammars/bool/batch", map[string]any{"inputs": []any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "POST", ts.URL+"/v1/grammars/bool/parse", map[string]any{"bogus": true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: %d", resp.StatusCode)
+	}
+}

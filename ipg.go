@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"ipg/internal/core"
 	"ipg/internal/forest"
@@ -163,6 +164,12 @@ type Parser struct {
 	lalrTbl    *lalr.Table        // LALR1 path
 	scanner    *isg.Scanner       // optional, set by SDF loading
 	priorities *priority.Relation // optional, set by SDF loading
+
+	// mu guards what the generator's own locks cannot see: the
+	// rule-text helpers intern new symbols into the shared SymbolTable
+	// before taking the generator's write lock, so token-stream parses
+	// (readers) and rule updates (writers) exclude each other here.
+	mu sync.RWMutex
 }
 
 // NewParser builds a parser for g. With default options no table
@@ -221,7 +228,20 @@ type Result = glr.Result
 
 // Parse parses a terminal stream (the end marker is appended
 // automatically).
+//
+// Parse is safe for concurrent use on LR(0) parsers: each call holds
+// shared access to the lazily expanding table for its whole duration, so
+// concurrent AddRule/DeleteRule/AddRulesText/DeleteRulesText calls never
+// tear a running parse (see core.Generator). ScanText/ParseText
+// additionally use the ISG scanner, which is not concurrency-safe — use
+// a Registry entry for concurrent text parsing.
 func (p *Parser) Parse(input []Symbol) (Result, error) {
+	if p.gen != nil {
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		p.gen.BeginParse()
+		defer p.gen.EndParse()
+	}
 	engine := p.opts.Engine
 	return glr.Parse(p.Table(), input, &glr.Options{
 		Engine:       engine,
@@ -229,14 +249,24 @@ func (p *Parser) Parse(input []Symbol) (Result, error) {
 	})
 }
 
-// Recognize reports acceptance without building trees.
+// Recognize reports acceptance without building trees. Like Parse it is
+// safe for concurrent use on LR(0) parsers.
 func (p *Parser) Recognize(input []Symbol) (bool, error) {
+	if p.gen != nil {
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		p.gen.BeginParse()
+		defer p.gen.EndParse()
+	}
 	return glr.Recognize(p.Table(), input, p.opts.Engine)
 }
 
 // Tokens converts whitespace-separated terminal names into a token
-// stream. Unknown names are an error.
+// stream. Unknown names are an error. Like Parse it may run concurrently
+// with the rule-update methods, which intern new symbols.
 func (p *Parser) Tokens(text string) ([]Symbol, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	var out []Symbol
 	start := -1
 	flush := func(end int) error {
@@ -289,6 +319,8 @@ func (p *Parser) AddRule(r *Rule) error {
 	if p.gen == nil {
 		return ErrNotIncremental
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.gen.AddRule(r)
 }
 
@@ -298,6 +330,8 @@ func (p *Parser) DeleteRule(r *Rule) error {
 	if p.gen == nil {
 		return ErrNotIncremental
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	return p.gen.DeleteRule(r)
 }
 
@@ -307,6 +341,8 @@ func (p *Parser) AddRulesText(text string) ([]*Rule, error) {
 	if p.gen == nil {
 		return nil, ErrNotIncremental
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	tmp, err := grammar.Parse(text, p.g.Symbols())
 	if err != nil {
 		return nil, err
@@ -327,6 +363,8 @@ func (p *Parser) DeleteRulesText(text string) error {
 	if p.gen == nil {
 		return ErrNotIncremental
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	tmp, err := grammar.Parse(text, p.g.Symbols())
 	if err != nil {
 		return err

@@ -2,9 +2,12 @@ package ipg
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -257,6 +260,57 @@ func TestDisambiguateViaSDF(t *testing.T) {
 			t.Errorf("%q: priorities should leave exactly 1 parse, got %d:\n%s",
 				expr, n, p.TreeString(res.Root))
 		}
+	}
+}
+
+// TestConcurrentParserUse: Parser.Parse and the rule-text helpers are
+// documented as safe for concurrent use on LR(0) parsers; exercise that
+// contract (meaningful under -race).
+func TestConcurrentParserUse(t *testing.T) {
+	g, _ := ParseGrammar(boolSrc)
+	p, _ := NewParser(g, nil)
+	input := p.MustTokens("true or false and true")
+	// Warm the table so the first modification finds complete states to
+	// invalidate regardless of goroutine scheduling.
+	if res, err := p.Parse(input); err != nil || !res.Accepted {
+		t.Fatal(res.Accepted, err)
+	}
+	var wg sync.WaitGroup
+	var failures atomic.Uint64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 30; j++ {
+				res, err := p.Parse(input)
+				if err != nil || !res.Accepted {
+					failures.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 15; j++ {
+			rule := fmt.Sprintf("B ::= %q B", fmt.Sprintf("kw%d", j))
+			if _, err := p.AddRulesText(rule); err != nil {
+				failures.Add(1)
+				return
+			}
+			if err := p.DeleteRulesText(rule); err != nil {
+				failures.Add(1)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d goroutines failed", failures.Load())
+	}
+	if c := p.Counters(); c.ParsesServed < 121 || c.StatesInvalidated == 0 {
+		t.Errorf("counters after concurrent use: %+v", c)
 	}
 }
 

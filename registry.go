@@ -1,0 +1,55 @@
+package ipg
+
+import (
+	"ipg/internal/core"
+	"ipg/internal/registry"
+)
+
+// This file re-exports the concurrent parse service's grammar registry:
+// a concurrency-safe catalog of named, versioned grammars, each owning
+// one shared lazily generated parse table that all concurrent parses
+// reuse. See cmd/ipg-serve for the HTTP front end over the same
+// registry.
+//
+//	reg := ipg.NewRegistry()
+//	entry, _ := reg.Register("calc", ipg.GrammarSpec{Source: calcSDF})
+//	res, _ := entry.ParseInput("1 + 2 * 3", true)   // safe from any goroutine
+//	entry.AddRulesText(`EXP ::= EXP "%" EXP`)       // incremental, exclusive
+
+// Registry is the concurrency-safe grammar catalog.
+type Registry = registry.Registry
+
+// RegistryEntry is one registered grammar with its shared generator.
+type RegistryEntry = registry.Entry
+
+// GrammarSpec describes a grammar to register (BNF rules or SDF).
+type GrammarSpec = registry.Spec
+
+// GrammarForm selects how a GrammarSpec source is read.
+type GrammarForm = registry.Form
+
+// Grammar source forms.
+const (
+	// FormAuto sniffs SDF ("module" keyword) vs plain rules.
+	FormAuto = registry.FormAuto
+	// FormRules is plain-text BNF.
+	FormRules = registry.FormRules
+	// FormSDF is an SDF definition.
+	FormSDF = registry.FormSDF
+)
+
+// ParseCounters is a snapshot of a generator's concurrent work counters
+// (states expanded/invalidated, action cache hit rate, parses served).
+type ParseCounters = core.Counters
+
+// NewRegistry returns an empty grammar registry.
+func NewRegistry() *Registry { return registry.New() }
+
+// Counters samples the parser's generator work counters. It returns the
+// zero value for LALR parsers, whose tables are static.
+func (p *Parser) Counters() ParseCounters {
+	if p.gen == nil {
+		return ParseCounters{}
+	}
+	return p.gen.Counters()
+}
