@@ -7,14 +7,24 @@
 // Usage:
 //
 //	ipg-serve [-addr :8080] [-grammar name=path ...]
+//	          [-snapshot-dir dir] [-snapshot-interval 5m]
+//	          [-max-parses n] [-max-forest-nodes n]
 //
 // Each -grammar flag preloads a grammar file at startup (.sdf files load
-// as SDF definitions, anything else as plain BNF). Example session:
+// as SDF definitions, anything else as plain BNF). With -snapshot-dir
+// the service persists each grammar's lazily generated parse table —
+// on shutdown, every -snapshot-interval, and on POST /v1/snapshot — and
+// a restarted service resumes the saved tables instead of re-earning
+// them parse by parse (stale or corrupt snapshots fall back to cold
+// generation). -max-parses and -max-forest-nodes set per-grammar
+// admission control so a warm, heavily loaded service stays protected.
+// Example session:
 //
-//	ipg-serve -grammar calc=testdata/Calc.sdf &
+//	ipg-serve -grammar calc=testdata/Calc.sdf -snapshot-dir /var/lib/ipg &
 //	curl -s localhost:8080/v1/grammars
 //	curl -s -X POST localhost:8080/v1/grammars/calc/parse \
 //	     -d '{"input":"1 + 2 * 3","trees":true}'
+//	curl -s -X POST localhost:8080/v1/snapshot
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 
 	"ipg/internal/registry"
 	"ipg/internal/serve"
+	"ipg/internal/snapshot"
 )
 
 // grammarFlags collects repeated -grammar name=path flags.
@@ -52,9 +63,28 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	var grammars grammarFlags
 	flag.Var(&grammars, "grammar", "preload a grammar: name=path (repeatable; .sdf = SDF definition)")
+	snapDir := flag.String("snapshot-dir", "", "persist parse-table snapshots here; restart resumes them ('' = disabled)")
+	snapEvery := flag.Duration("snapshot-interval", 0, "also snapshot all grammars on this interval (0 = only on shutdown and POST /v1/snapshot)")
+	maxParses := flag.Int("max-parses", 0, "per-grammar max concurrent parses; excess gets 429 (0 = unlimited)")
+	maxForest := flag.Int("max-forest-nodes", 0, "per-grammar max parse-forest nodes; larger parses get 429 (0 = unlimited)")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatchInputs, "max sentences per batch request")
 	flag.Parse()
 
 	reg := registry.New()
+	reg.SetLogf(log.Printf)
+	reg.SetDefaultLimits(registry.Limits{
+		MaxConcurrentParses: *maxParses,
+		MaxForestNodes:      *maxForest,
+	})
+	if *snapDir != "" {
+		store, err := snapshot.NewStore(*snapDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg.SetSnapshotStore(store)
+		log.Printf("snapshots enabled in %s", store.Dir())
+	}
+
 	for _, spec := range grammars {
 		name, path, _ := strings.Cut(spec, "=")
 		src, err := os.ReadFile(path)
@@ -65,20 +95,46 @@ func main() {
 		if strings.HasSuffix(path, ".sdf") {
 			form = registry.FormSDF
 		}
-		if _, err := reg.Register(name, registry.Spec{Source: string(src), Form: form}); err != nil {
+		e, err := reg.Register(name, registry.Spec{Source: string(src), Form: form})
+		if err != nil {
 			log.Fatalf("preload %s: %v", name, err)
 		}
-		log.Printf("loaded grammar %q from %s", name, path)
+		how := "cold"
+		if e.Stats().Restored {
+			how = "warm (snapshot resumed)"
+		}
+		log.Printf("loaded grammar %q from %s [%s]", name, path, how)
 	}
 
+	front := serve.New(reg)
+	front.SetMaxBatchInputs(*maxBatch)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.New(reg).Handler(),
+		Handler:           front.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *snapDir != "" && *snapEvery > 0 {
+		ticker := time.NewTicker(*snapEvery)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if n, err := reg.SnapshotAll(); err != nil {
+						log.Printf("periodic snapshot: saved %d: %v", n, err)
+					} else if n > 0 {
+						log.Printf("periodic snapshot: saved %d grammars", n)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -97,6 +153,13 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Fatal(err)
+		}
+		if *snapDir != "" {
+			if n, err := reg.SnapshotAll(); err != nil {
+				log.Printf("shutdown snapshot: saved %d: %v", n, err)
+			} else {
+				log.Printf("shutdown snapshot: saved %d grammars; restart resumes them", n)
+			}
 		}
 	}
 }

@@ -8,6 +8,12 @@
 //	ipg -grammar booleans.bnf -parse "true or false"
 //	ipg -grammar Exp.sdf -text "1 + 2 * 3"
 //	ipg -grammar booleans.bnf -repl
+//	ipg -grammar booleans.bnf -repl -snapshot session.ipgsnap
+//
+// -snapshot names a checksummed session file: the table generated this
+// session (including its lazy frontier) is saved atomically on exit and
+// resumed on the next start, as long as the grammar still matches; a
+// stale or corrupt file just starts cold.
 //
 // REPL commands:
 //
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"ipg"
@@ -42,6 +49,7 @@ func main() {
 	maxTrees := flag.Int("max-trees", 4, "maximum trees to print")
 	loadTable := flag.String("load-table", "", "resume from a saved parse table (BNF grammars only)")
 	saveTable := flag.String("save-table", "", "persist the (possibly partial) parse table on exit")
+	session := flag.String("snapshot", "", "checksummed session file: resume the table from it if valid, save on exit (BNF grammars only)")
 	flag.Parse()
 
 	if *grammarPath == "" {
@@ -60,14 +68,23 @@ func main() {
 		var g *ipg.Grammar
 		g, err = ipg.ParseGrammar(string(src))
 		if err == nil {
-			if *loadTable != "" {
+			switch {
+			case *loadTable != "":
 				var f *os.File
 				f, err = os.Open(*loadTable)
 				if err == nil {
 					p, err = ipg.NewParserFromTable(g, f, nil)
 					f.Close()
 				}
-			} else {
+			case *session != "":
+				// Resume the session snapshot when it exists and still
+				// matches the grammar; anything else starts cold — a
+				// stale or corrupt session file is never fatal.
+				p = resumeSession(g, *session)
+				if p == nil {
+					p, err = ipg.NewParser(g, nil)
+				}
+			default:
 				p, err = ipg.NewParser(g, nil)
 			}
 		}
@@ -87,6 +104,9 @@ func main() {
 				log.Print(err)
 			}
 		}()
+	}
+	if *session != "" && p.Generator() != nil {
+		defer saveSession(p, *session)
 	}
 
 	report := func(res ipg.Result) {
@@ -130,6 +150,51 @@ func main() {
 	default:
 		fmt.Printf("loaded %s: %d rules\n", *grammarPath, p.Grammar().Len())
 		fmt.Print(p.Grammar().String())
+	}
+}
+
+// resumeSession loads a -snapshot session file, returning nil (start
+// cold) when the file is missing, corrupt, or from a different grammar.
+func resumeSession(g *ipg.Grammar, path string) *ipg.Parser {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	p, err := ipg.LoadSnapshotParser(g, f, nil)
+	if err != nil {
+		log.Printf("snapshot %s unusable, starting cold: %v", path, err)
+		return nil
+	}
+	s := p.Stats()
+	log.Printf("resumed session: %d states (%d expanded)", s.States, s.Complete)
+	return p
+}
+
+// saveSession writes the session snapshot atomically (temp + rename),
+// so an interrupted exit leaves the previous session intact.
+func saveSession(p *ipg.Parser, path string) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ipg-session-*")
+	if err != nil {
+		log.Print(err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if err := p.SaveSnapshot(tmp, filepath.Base(path)); err != nil {
+		tmp.Close()
+		log.Print(err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		log.Print(err)
+		return
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		log.Print(err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		log.Print(err)
 	}
 }
 

@@ -24,6 +24,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -302,6 +303,34 @@ func (gen *Generator) checkVersion() {
 		panic(fmt.Sprintf("core: grammar modified behind the generator's back (version %d, generator saw %d); use Generator.AddRule/DeleteRule",
 			gen.g.Version(), gen.version))
 	}
+}
+
+// SaveTable serializes the graph of item sets, including the lazy
+// frontier, dirty-state history and publication flags (lr.Save format
+// v2), so a later session resumes exactly where this one stopped
+// generating. It holds shared table access plus the expansion mutex:
+// concurrent parses on already-published states continue unimpeded
+// while the snapshot is taken; lazy expansions and modifications wait.
+// The returned coverage describes exactly the serialized table — it is
+// sampled inside the same critical section, so a racing parse cannot
+// make the description drift from the payload.
+func (gen *Generator) SaveTable(w io.Writer) (CoverageStats, error) {
+	gen.mu.RLock()
+	defer gen.mu.RUnlock()
+	gen.expandMu.Lock()
+	defer gen.expandMu.Unlock()
+	if err := gen.auto.Save(w); err != nil {
+		return CoverageStats{}, err
+	}
+	i, c, d := gen.auto.TypeCounts()
+	return CoverageStats{
+		Initial:       i,
+		Complete:      c,
+		Dirty:         d,
+		Expansions:    gen.auto.Stats.Expansions,
+		StatesCreated: gen.auto.Stats.StatesCreated,
+		StatesRemoved: gen.auto.Stats.StatesRemoved,
+	}, nil
 }
 
 // Pregenerate expands every state reachable from the start state,

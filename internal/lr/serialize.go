@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -12,38 +13,56 @@ import (
 
 // This file implements a textual persistence format for graphs of item
 // sets, so generated (or partially generated!) parse tables survive
-// process restarts — an interactive environment can resume a session
-// without regenerating the table parts its inputs already paid for.
+// process restarts — an interactive environment or a long-running parse
+// service can resume a session without regenerating the table parts its
+// inputs already paid for.
 //
-// Format (line-oriented):
+// Format v2 (line-oriented):
 //
-//	ipg-table v1
+//	ipg-table v2
+//	stats <expansions> <created> <removed> <closureItems>
 //	start <id>
-//	state <id> <initial|complete>
+//	state <id> <initial|complete|dirty>
 //	k <dot> <lhs> <rhs...>          (kernel item; symbols by name)
+//	p                               (publication flag; complete states)
 //	r <lhs> <rhs...>                (reduction)
 //	a                               (accept transition)
 //	t <sym> <stateID>               (transition)
+//	ot <sym> <stateID>              (dirty history: old transition)
+//	oa                              (dirty history: old accept)
+//
+// Version 2 round-trips the full lazy/incremental state, not just the
+// automaton skeleton: dirty states keep their history (OldTransitions/
+// OldAccept), so reference counts after a reload match the live table
+// exactly and a resumed RE-EXPAND releases the same references it would
+// have released before the restart; publication flags are explicit, so
+// the concurrent fast path resumes warm; and the generator work counters
+// (Stats) survive, so coverage measurements continue across restarts.
 //
 // Rules are stored by value (left-hand side and right-hand side names)
 // and resolved against the grammar at load time, so a table only loads
-// against a grammar that still contains its rules. Dirty states are
-// saved as initial (their history is a memory-only optimization).
+// against a grammar that still contains its rules. Load also accepts the
+// v1 format of earlier sessions, which stored dirty states as initial
+// (dropping their history) and implied publication from completeness.
 
-const tableMagic = "ipg-table v1"
+const (
+	tableMagic   = "ipg-table v2"
+	tableMagicV1 = "ipg-table v1"
+)
 
-// Save serializes the graph of item sets.
+// Save serializes the graph of item sets, including the lazy frontier
+// (initial states), invalidation history (dirty states) and publication
+// flags. The output is deterministic: states sorted by ID, transitions
+// sorted by symbol — so Save∘Load∘Save is byte-identical.
 func (a *Automaton) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	names := a.g.Symbols()
 	fmt.Fprintln(bw, tableMagic)
+	fmt.Fprintf(bw, "stats %d %d %d %d\n",
+		a.Stats.Expansions, a.Stats.StatesCreated, a.Stats.StatesRemoved, a.Stats.ClosureItems)
 	fmt.Fprintf(bw, "start %d\n", a.start.ID)
 	for _, s := range a.States() {
-		typ := "complete"
-		if s.Type != Complete {
-			typ = "initial"
-		}
-		fmt.Fprintf(bw, "state %d %s\n", s.ID, typ)
+		fmt.Fprintf(bw, "state %d %s\n", s.ID, s.Type)
 		for _, it := range s.Kernel {
 			fmt.Fprintf(bw, "k %d %s", it.Dot, quoteName(names.Name(it.Rule.Lhs)))
 			for _, sym := range it.Rule.Rhs {
@@ -51,32 +70,65 @@ func (a *Automaton) Save(w io.Writer) error {
 			}
 			fmt.Fprintln(bw)
 		}
-		if s.Type != Complete {
-			continue
-		}
-		for _, r := range s.Reductions {
-			fmt.Fprintf(bw, "r %s", quoteName(names.Name(r.Lhs)))
-			for _, sym := range r.Rhs {
-				fmt.Fprintf(bw, " %s", quoteName(names.Name(sym)))
+		switch s.Type {
+		case Complete:
+			if s.Published() {
+				fmt.Fprintln(bw, "p")
 			}
-			fmt.Fprintln(bw)
-		}
-		if s.Accept {
-			fmt.Fprintln(bw, "a")
-		}
-		for _, sym := range s.TransitionSymbols() {
-			fmt.Fprintf(bw, "t %s %d\n", quoteName(names.Name(sym)), s.Transitions[sym].ID)
+			for _, r := range s.Reductions {
+				fmt.Fprintf(bw, "r %s", quoteName(names.Name(r.Lhs)))
+				for _, sym := range r.Rhs {
+					fmt.Fprintf(bw, " %s", quoteName(names.Name(sym)))
+				}
+				fmt.Fprintln(bw)
+			}
+			if s.Accept {
+				fmt.Fprintln(bw, "a")
+			}
+			for _, sym := range s.TransitionSymbols() {
+				fmt.Fprintf(bw, "t %s %d\n", quoteName(names.Name(sym)), s.Transitions[sym].ID)
+			}
+		case Dirty:
+			// History keeps the references the state still holds; a resumed
+			// re-expansion releases them exactly as the live table would.
+			if s.OldAccept {
+				fmt.Fprintln(bw, "oa")
+			}
+			for _, sym := range oldTransitionSymbols(s) {
+				fmt.Fprintf(bw, "ot %s %d\n", quoteName(names.Name(sym)), s.OldTransitions[sym].ID)
+			}
 		}
 	}
 	return bw.Flush()
 }
 
+// oldTransitionSymbols sorts a dirty state's history symbols for
+// deterministic output (mirrors TransitionSymbols).
+func oldTransitionSymbols(s *State) []grammar.Symbol {
+	out := make([]grammar.Symbol, 0, len(s.OldTransitions))
+	for sym := range s.OldTransitions {
+		out = append(out, sym)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Load deserializes a graph of item sets against g, which must contain
-// every rule the table references. Reference counts are recomputed.
+// every rule the table references. Reference counts are recomputed from
+// current transitions plus dirty-state history (v2 keeps them identical
+// to the live table that was saved). Both the v2 and the legacy v1
+// format are accepted.
 func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() || sc.Text() != tableMagic {
+	var v1 bool
+	switch {
+	case !sc.Scan():
+		return nil, fmt.Errorf("lr: not an ipg table (missing %q header)", tableMagic)
+	case sc.Text() == tableMagic:
+	case sc.Text() == tableMagicV1:
+		v1 = true
+	default:
 		return nil, fmt.Errorf("lr: not an ipg table (missing %q header)", tableMagic)
 	}
 
@@ -86,10 +138,13 @@ func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 		from *State
 		sym  grammar.Symbol
 		to   int
+		old  bool
 	}
 	var trans []pendingTrans
 	var cur *State
+	published := map[*State]bool{}
 	startID := -1
+	statsSeen := false
 	line := 1
 
 	lookupSym := func(name string) (grammar.Symbol, error) {
@@ -129,6 +184,7 @@ func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 		kernelItems = nil
 	}
 
+	var stats Stats
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -140,6 +196,19 @@ func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 			return nil, fmt.Errorf("lr: line %d: %v", line, err)
 		}
 		switch fields[0] {
+		case "stats":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("lr: line %d: malformed stats", line)
+			}
+			nums := make([]int, 4)
+			for i, f := range fields[1:] {
+				nums[i], err = strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("lr: line %d: %v", line, err)
+				}
+			}
+			stats = Stats{Expansions: nums[0], StatesCreated: nums[1], StatesRemoved: nums[2], ClosureItems: nums[3]}
+			statsSeen = true
 		case "start":
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("lr: line %d: malformed start", line)
@@ -158,9 +227,19 @@ func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 				return nil, fmt.Errorf("lr: line %d: %v", line, err)
 			}
 			cur = &State{ID: id}
-			if fields[2] == "complete" {
+			switch fields[2] {
+			case "initial":
+				cur.Type = Initial
+			case "complete":
 				cur.Type = Complete
 				cur.Transitions = map[grammar.Symbol]*State{}
+			case "dirty":
+				if v1 {
+					return nil, fmt.Errorf("lr: line %d: dirty state in v1 table", line)
+				}
+				cur.Type = Dirty
+			default:
+				return nil, fmt.Errorf("lr: line %d: unknown state type %q", line, fields[2])
 			}
 			if byID[id] != nil {
 				return nil, fmt.Errorf("lr: line %d: duplicate state %d", line, id)
@@ -186,6 +265,11 @@ func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 				return nil, fmt.Errorf("lr: line %d: dot %d out of range", line, dot)
 			}
 			kernelItems = append(kernelItems, Item{Rule: rule, Dot: dot})
+		case "p":
+			if cur == nil || cur.Type != Complete {
+				return nil, fmt.Errorf("lr: line %d: publication flag outside complete state", line)
+			}
+			published[cur] = true
 		case "r":
 			if cur == nil || cur.Type != Complete || len(fields) < 2 {
 				return nil, fmt.Errorf("lr: line %d: reduction outside complete state", line)
@@ -200,9 +284,18 @@ func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 				return nil, fmt.Errorf("lr: line %d: accept outside complete state", line)
 			}
 			cur.Accept = true
-		case "t":
-			if cur == nil || cur.Type != Complete || len(fields) != 3 {
+		case "oa":
+			if cur == nil || cur.Type != Dirty {
+				return nil, fmt.Errorf("lr: line %d: old accept outside dirty state", line)
+			}
+			cur.OldAccept = true
+		case "t", "ot":
+			old := fields[0] == "ot"
+			if cur == nil || len(fields) != 3 {
 				return nil, fmt.Errorf("lr: line %d: malformed transition", line)
+			}
+			if (old && cur.Type != Dirty) || (!old && cur.Type != Complete) {
+				return nil, fmt.Errorf("lr: line %d: %s transition in %s state", line, fields[0], cur.Type)
 			}
 			sym, err := lookupSym(fields[1])
 			if err != nil {
@@ -212,7 +305,7 @@ func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 			if err != nil {
 				return nil, fmt.Errorf("lr: line %d: %v", line, err)
 			}
-			trans = append(trans, pendingTrans{from: cur, sym: sym, to: to})
+			trans = append(trans, pendingTrans{from: cur, sym: sym, to: to, old: old})
 		default:
 			return nil, fmt.Errorf("lr: line %d: unknown directive %q", line, fields[0])
 		}
@@ -228,8 +321,13 @@ func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 			return nil, fmt.Errorf("lr: states %d and %d share a kernel", other.ID, s.ID)
 		}
 		a.states[key] = s
-		if s.Type == Complete {
+		switch {
+		case s.Type == Complete && (v1 || published[s]):
+			// v1 implied publication from completeness; v2 records the
+			// actual flag so the concurrent fast path resumes exactly warm.
 			s.Publish()
+		case s.Type == Dirty:
+			s.OldTransitions = map[grammar.Symbol]*State{}
 		}
 	}
 	for _, pt := range trans {
@@ -237,7 +335,11 @@ func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 		if !ok {
 			return nil, fmt.Errorf("lr: transition to unknown state %d", pt.to)
 		}
-		pt.from.Transitions[pt.sym] = to
+		if pt.old {
+			pt.from.OldTransitions[pt.sym] = to
+		} else {
+			pt.from.Transitions[pt.sym] = to
+		}
 		to.RefCount++
 	}
 	start, ok := byID[startID]
@@ -246,6 +348,9 @@ func Load(g *grammar.Grammar, r io.Reader) (*Automaton, error) {
 	}
 	a.start = start
 	start.RefCount++
+	if statsSeen {
+		a.Stats = stats
+	}
 	return a, nil
 }
 

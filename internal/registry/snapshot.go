@@ -1,0 +1,196 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"ipg/internal/core"
+	"ipg/internal/lr"
+	"ipg/internal/snapshot"
+)
+
+// This file wires table snapshots through the registry: entries resume
+// their lazily generated tables from a snapshot store on registration
+// (when the grammar hash matches), and can be snapshotted at any time —
+// on demand, on an interval, or at shutdown — while other goroutines
+// keep parsing. A snapshot only blocks lazy expansion and modification,
+// never the already-published fast path.
+
+// ErrNoStore is returned by the snapshot methods when no snapshot store
+// has been configured (SetSnapshotStore).
+var ErrNoStore = errors.New("registry: no snapshot store configured")
+
+// ErrUnknownGrammar is returned (wrapped with the name) when a snapshot
+// is requested for a name with no registered entry.
+var ErrUnknownGrammar = errors.New("registry: unknown grammar")
+
+// SetSnapshotStore enables snapshot persistence through st (nil
+// disables it). Call before serving traffic; it is not synchronized
+// against concurrent Register/Snapshot calls.
+func (r *Registry) SetSnapshotStore(st *snapshot.Store) { r.store = st }
+
+// SnapshotStore returns the configured store (nil when disabled).
+func (r *Registry) SnapshotStore() *snapshot.Store { return r.store }
+
+// SetLogf directs the registry's snapshot decisions (restores,
+// fallbacks, failures) to f, e.g. log.Printf. Call before serving
+// traffic; nil silences logging.
+func (r *Registry) SetLogf(f func(format string, args ...any)) { r.logf = f }
+
+// SetDefaultLimits sets the admission control applied to every spec
+// registered with zero Limits. Call before serving traffic.
+func (r *Registry) SetDefaultLimits(l Limits) { r.defaultLimits = l }
+
+// DefaultLimits returns the registry-wide default admission control.
+func (r *Registry) DefaultLimits() Limits { return r.defaultLimits }
+
+func (r *Registry) logfSafe(format string, args ...any) {
+	if r.logf != nil {
+		r.logf(format, args...)
+	}
+}
+
+// tryRestore replaces e's cold generator with one resumed from the
+// store's snapshot, when one exists and its grammar hash matches the
+// freshly compiled grammar. Every failure mode — corrupt file, stale
+// hash, unloadable table — logs a reason and leaves the cold generator
+// in place: a snapshot can be lost, but it must never corrupt a table
+// or fail a registration.
+func (r *Registry) tryRestore(e *Entry, opts *core.Options) {
+	if r.store == nil {
+		return
+	}
+	snap, err := r.store.Load(e.name)
+	switch {
+	case errors.Is(err, snapshot.ErrNotFound):
+		return
+	case err != nil:
+		r.snapErrors.Add(1)
+		r.logfSafe("snapshot %q: unreadable, generating cold: %v", e.name, err)
+		return
+	}
+	if err := snap.ValidateFor(e.g); err != nil {
+		r.snapRejected.Add(1)
+		r.logfSafe("snapshot %q: stale, generating cold: %v", e.name, err)
+		return
+	}
+	auto, err := lr.Load(e.g, bytes.NewReader(snap.Payload))
+	if err != nil {
+		r.snapErrors.Add(1)
+		r.logfSafe("snapshot %q: table load failed, generating cold: %v", e.name, err)
+		return
+	}
+	e.gen = core.NewFromAutomaton(auto, opts)
+	e.restored = true
+	r.snapRestores.Add(1)
+	r.logfSafe("snapshot %q: resumed %d states (%d complete) from %s",
+		e.name, snap.States, snap.Complete, r.store.Path(e.name))
+}
+
+// Snapshot serializes the entry's table — lazy frontier, publication
+// flags, dirty history and work stats — into a validated snapshot.
+// Concurrent parses on already-expanded states proceed while the table
+// is serialized; expansions and rule updates wait.
+func (e *Entry) Snapshot() (*snapshot.Snapshot, error) {
+	e.updateMu.RLock()
+	defer e.updateMu.RUnlock()
+	var buf bytes.Buffer
+	cov, err := e.gen.SaveTable(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("registry: snapshot %q: %w", e.name, err)
+	}
+	return &snapshot.Snapshot{
+		Meta: snapshot.Meta{
+			Name:        e.name,
+			Form:        e.form.String(),
+			Version:     e.version.Load(),
+			GrammarHash: snapshot.Hash(e.g),
+			CreatedUnix: snapshot.Now(),
+			States:      cov.Initial + cov.Complete + cov.Dirty,
+			Complete:    cov.Complete,
+		},
+		Payload: buf.Bytes(),
+	}, nil
+}
+
+// SnapshotEntry snapshots one entry to the store and returns the
+// written header. It reports ErrUnknownGrammar (wrapped) when name has
+// no entry — e.g. it was removed concurrently.
+func (r *Registry) SnapshotEntry(name string) (snapshot.Meta, error) {
+	if r.store == nil {
+		return snapshot.Meta{}, ErrNoStore
+	}
+	e, ok := r.Get(name)
+	if !ok {
+		return snapshot.Meta{}, fmt.Errorf("%w: %q", ErrUnknownGrammar, name)
+	}
+	return r.snapshotEntry(e)
+}
+
+// snapshotEntry persists one already-resolved entry.
+func (r *Registry) snapshotEntry(e *Entry) (snapshot.Meta, error) {
+	snap, err := e.Snapshot()
+	if err != nil {
+		r.snapErrors.Add(1)
+		return snapshot.Meta{}, err
+	}
+	if err := r.store.Save(snap); err != nil {
+		r.snapErrors.Add(1)
+		return snapshot.Meta{}, err
+	}
+	r.snapSaves.Add(1)
+	r.lastSnapUnix.Store(time.Now().Unix())
+	return snap.Meta, nil
+}
+
+// SnapshotAll snapshots every registered entry, returning how many were
+// written and the joined errors of the rest. Call it on shutdown and on
+// a timer so a restarted service resumes warm.
+func (r *Registry) SnapshotAll() (int, error) {
+	if r.store == nil {
+		return 0, ErrNoStore
+	}
+	var errs []error
+	saved := 0
+	for _, e := range r.Entries() {
+		if _, err := r.snapshotEntry(e); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		saved++
+	}
+	return saved, errors.Join(errs...)
+}
+
+// SnapshotStats describes the snapshot subsystem for stats endpoints.
+type SnapshotStats struct {
+	// Enabled reports whether a store is configured; Dir is its
+	// directory when enabled.
+	Enabled bool
+	Dir     string
+	// Saves/Restores/Rejected/Errors count snapshot writes, successful
+	// restores at registration, hash-mismatch rejections and
+	// corrupt/unreadable failures.
+	Saves, Restores, Rejected, Errors uint64
+	// LastSaveUnix is the time of the most recent successful save
+	// (0 = never).
+	LastSaveUnix int64
+}
+
+// SnapshotStats samples the snapshot subsystem counters.
+func (r *Registry) SnapshotStats() SnapshotStats {
+	st := SnapshotStats{
+		Saves:        r.snapSaves.Load(),
+		Restores:     r.snapRestores.Load(),
+		Rejected:     r.snapRejected.Load(),
+		Errors:       r.snapErrors.Load(),
+		LastSaveUnix: r.lastSnapUnix.Load(),
+	}
+	if r.store != nil {
+		st.Enabled = true
+		st.Dir = r.store.Dir()
+	}
+	return st
+}

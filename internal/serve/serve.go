@@ -15,6 +15,14 @@
 //	POST   /v1/grammars/{name}/parse    parse one sentence
 //	POST   /v1/grammars/{name}/batch    parse many sentences concurrently
 //	POST   /v1/grammars/{name}/rules    add/delete rules incrementally
+//	POST   /v1/grammars/{name}/snapshot persist one entry's table
+//	POST   /v1/snapshot                 persist every entry's table
+//
+// When the backing registry has a snapshot store, registering a grammar
+// whose snapshot matches resumes the saved lazy table instead of
+// generating cold, and /v1/stats reports the snapshot subsystem.
+// Admission-control rejections (per-entry concurrent-parse and
+// forest-size limits) map to 429 Too Many Requests.
 package serve
 
 import (
@@ -37,17 +45,25 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// maxBatch bounds POST .../batch input counts (SetMaxBatchInputs).
+	maxBatch int
+
 	requests       atomic.Uint64
 	parses         atomic.Uint64
 	batchSentences atomic.Uint64
+	rejected429    atomic.Uint64
 }
+
+// DefaultMaxBatchInputs bounds batch requests unless overridden with
+// SetMaxBatchInputs.
+const DefaultMaxBatchInputs = 1024
 
 // New builds a server over reg (an empty registry when nil).
 func New(reg *registry.Registry) *Server {
 	if reg == nil {
 		reg = registry.New()
 	}
-	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), maxBatch: DefaultMaxBatchInputs}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/grammars", s.handleList)
@@ -57,7 +73,18 @@ func New(reg *registry.Registry) *Server {
 	s.mux.HandleFunc("POST /v1/grammars/{name}/parse", s.handleParse)
 	s.mux.HandleFunc("POST /v1/grammars/{name}/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/grammars/{name}/rules", s.handleRules)
+	s.mux.HandleFunc("POST /v1/grammars/{name}/snapshot", s.handleSnapshotOne)
+	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshotAll)
 	return s
+}
+
+// SetMaxBatchInputs overrides the batch-size cap (0 restores the
+// default). Call before serving traffic.
+func (s *Server) SetMaxBatchInputs(n int) {
+	if n <= 0 {
+		n = DefaultMaxBatchInputs
+	}
+	s.maxBatch = n
 }
 
 // Registry exposes the backing registry (for preloading grammars).
@@ -118,6 +145,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// SnapshotSubsystemStats is the snapshot section of /v1/stats, present
+// when the registry has a snapshot store.
+type SnapshotSubsystemStats struct {
+	Dir string `json:"dir"`
+	// Saves/Restores/Rejected/Errors count snapshot writes, warm
+	// restores at registration, stale-hash rejections and
+	// corrupt/unreadable failures.
+	Saves    uint64 `json:"saves_total"`
+	Restores uint64 `json:"restores_total"`
+	Rejected uint64 `json:"rejected_total"`
+	Errors   uint64 `json:"errors_total"`
+	// LastSaveUnix is the most recent successful save (0 = never).
+	LastSaveUnix int64 `json:"last_save_unix"`
+}
+
 // ServiceStats is the /v1/stats response.
 type ServiceStats struct {
 	Grammars       int    `json:"grammars"`
@@ -125,18 +167,34 @@ type ServiceStats struct {
 	Requests       uint64 `json:"http_requests_total"`
 	Parses         uint64 `json:"parse_requests_total"`
 	BatchSentences uint64 `json:"batch_sentences_total"`
-	Uptime         string `json:"uptime"`
+	// Rejected429 counts admission-control rejections served as 429.
+	Rejected429 uint64 `json:"admission_rejected_total"`
+	Uptime      string `json:"uptime"`
+	// Snapshots reports the snapshot subsystem (null when disabled).
+	Snapshots *SnapshotSubsystemStats `json:"snapshots,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, ServiceStats{
+	out := ServiceStats{
 		Grammars:       s.reg.Len(),
 		Registered:     s.reg.Registered(),
 		Requests:       s.requests.Load(),
 		Parses:         s.parses.Load(),
 		BatchSentences: s.batchSentences.Load(),
+		Rejected429:    s.rejected429.Load(),
 		Uptime:         time.Since(s.start).String(),
-	})
+	}
+	if st := s.reg.SnapshotStats(); st.Enabled {
+		out.Snapshots = &SnapshotSubsystemStats{
+			Dir:          st.Dir,
+			Saves:        st.Saves,
+			Restores:     st.Restores,
+			Rejected:     st.Rejected,
+			Errors:       st.Errors,
+			LastSaveUnix: st.LastSaveUnix,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // ---- registry management ----
@@ -159,23 +217,37 @@ type EntryInfo struct {
 	StatesInvalidated uint64  `json:"states_invalidated"`
 	ActionCalls       uint64  `json:"action_calls"`
 	CacheHitRate      float64 `json:"cache_hit_rate"`
+	// Restored reports the entry resumed its table from a snapshot at
+	// registration instead of generating cold.
+	Restored bool `json:"restored_from_snapshot"`
+	// InflightParses / AdmissionRejected describe admission control;
+	// the Max* fields echo the entry's limits (0 = unlimited).
+	InflightParses      int64  `json:"inflight_parses"`
+	AdmissionRejected   uint64 `json:"admission_rejected_total"`
+	MaxConcurrentParses int    `json:"max_concurrent_parses,omitempty"`
+	MaxForestNodes      int    `json:"max_forest_nodes,omitempty"`
 }
 
 func infoOf(st registry.Stats) EntryInfo {
 	return EntryInfo{
-		Name:              st.Name,
-		Form:              st.Form.String(),
-		Version:           st.Version,
-		Rules:             st.Rules,
-		States:            st.States,
-		Complete:          st.Complete,
-		Initial:           st.Initial,
-		Dirty:             st.Dirty,
-		ParsesServed:      st.Counters.ParsesServed,
-		StatesExpanded:    st.Counters.StatesExpanded,
-		StatesInvalidated: st.Counters.StatesInvalidated,
-		ActionCalls:       st.Counters.ActionCalls,
-		CacheHitRate:      st.Counters.HitRate(),
+		Name:                st.Name,
+		Form:                st.Form.String(),
+		Version:             st.Version,
+		Rules:               st.Rules,
+		States:              st.States,
+		Complete:            st.Complete,
+		Initial:             st.Initial,
+		Dirty:               st.Dirty,
+		ParsesServed:        st.Counters.ParsesServed,
+		StatesExpanded:      st.Counters.StatesExpanded,
+		StatesInvalidated:   st.Counters.StatesInvalidated,
+		ActionCalls:         st.Counters.ActionCalls,
+		CacheHitRate:        st.Counters.HitRate(),
+		Restored:            st.Restored,
+		InflightParses:      st.Inflight,
+		AdmissionRejected:   st.AdmissionRejected,
+		MaxConcurrentParses: st.Limits.MaxConcurrentParses,
+		MaxForestNodes:      st.Limits.MaxForestNodes,
 	}
 }
 
@@ -311,10 +383,21 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	s.parses.Add(1)
 	out, err := s.parseOne(e, req)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, s.parseErrorStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// parseErrorStatus maps a parse failure to its HTTP status: admission
+// control rejections are 429 (retryable: the entry is protecting
+// itself), everything else is a 422 input problem.
+func (s *Server) parseErrorStatus(err error) int {
+	if errors.Is(err, registry.ErrBusy) || errors.Is(err, registry.ErrForestLimit) {
+		s.rejected429.Add(1)
+		return http.StatusTooManyRequests
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // BatchRequest is the POST .../batch body: many sentences fanned out
@@ -328,10 +411,13 @@ type BatchRequest struct {
 }
 
 // BatchItem is one sentence's outcome; Error is set instead of the
-// parse fields when the sentence could not be tokenized.
+// parse fields when the sentence could not be processed. Throttled
+// additionally marks admission-control rejections (the 429 class):
+// those are retryable, unlike tokenization errors.
 type BatchItem struct {
 	ParseResponse
-	Error string `json:"error,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Throttled bool   `json:"throttled,omitempty"`
 }
 
 // BatchResponse aggregates a batch.
@@ -340,7 +426,10 @@ type BatchResponse struct {
 	Accepted int         `json:"accepted"`
 	Rejected int         `json:"rejected"`
 	Errors   int         `json:"errors"`
-	Workers  int         `json:"workers"`
+	// Throttled counts items refused by admission control (also
+	// included in Errors).
+	Throttled int `json:"throttled,omitempty"`
+	Workers   int `json:"workers"`
 	// WallUS is the end-to-end batch time; with W workers and a warm
 	// table it approaches sum(parse time)/W.
 	WallUS int64 `json:"wall_us"`
@@ -357,6 +446,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Inputs) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("batch needs at least one input"))
+		return
+	}
+	if len(req.Inputs) > s.maxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d inputs exceeds the limit of %d; split the request", len(req.Inputs), s.maxBatch))
 		return
 	}
 	workers := req.Workers
@@ -379,7 +473,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			for idx := range jobs {
 				out, err := s.parseOne(e, ParseRequest{Input: req.Inputs[idx], Trees: req.Trees})
 				if err != nil {
-					results[idx] = BatchItem{Error: err.Error()}
+					throttled := errors.Is(err, registry.ErrBusy) || errors.Is(err, registry.ErrForestLimit)
+					if throttled {
+						s.rejected429.Add(1)
+					}
+					results[idx] = BatchItem{Error: err.Error(), Throttled: throttled}
 					continue
 				}
 				results[idx] = BatchItem{ParseResponse: out}
@@ -397,6 +495,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case item.Error != "":
 			resp.Errors++
+			if item.Throttled {
+				resp.Throttled++
+			}
 		case item.Accepted:
 			resp.Accepted++
 		default:
@@ -464,5 +565,62 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Version = e.Version()
 	resp.Invalidated = e.Generator().Counters().StatesInvalidated
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- snapshots ----
+
+// SnapshotResponse reports one entry's persisted snapshot.
+type SnapshotResponse struct {
+	Name string `json:"name"`
+	// States/Complete describe the persisted table; Bytes is the
+	// payload size.
+	States   int    `json:"states"`
+	Complete int    `json:"complete_states"`
+	Version  uint64 `json:"version"`
+	// GrammarHash is the fingerprint a future registration must match
+	// to resume this snapshot.
+	GrammarHash string `json:"grammar_hash"`
+}
+
+// SnapshotAllResponse reports a service-wide snapshot pass.
+type SnapshotAllResponse struct {
+	Saved int    `json:"saved"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleSnapshotOne(w http.ResponseWriter, r *http.Request) {
+	meta, err := s.reg.SnapshotEntry(r.PathValue("name"))
+	switch {
+	case errors.Is(err, registry.ErrNoStore):
+		writeError(w, http.StatusConflict, err)
+		return
+	case errors.Is(err, registry.ErrUnknownGrammar):
+		writeError(w, http.StatusNotFound, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Name:        meta.Name,
+		States:      meta.States,
+		Complete:    meta.Complete,
+		Version:     meta.Version,
+		GrammarHash: meta.GrammarHash,
+	})
+}
+
+func (s *Server) handleSnapshotAll(w http.ResponseWriter, r *http.Request) {
+	saved, err := s.reg.SnapshotAll()
+	if errors.Is(err, registry.ErrNoStore) {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	resp := SnapshotAllResponse{Saved: saved}
+	if err != nil {
+		// Partial failure still reports what was saved.
+		resp.Error = err.Error()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"ipg/internal/registry"
+	"ipg/internal/snapshot"
+)
+
+// newSnapshotServer builds a server whose registry persists snapshots
+// under dir.
+func newSnapshotServer(t *testing.T, dir string) (*httptest.Server, *registry.Registry) {
+	t.Helper()
+	store, err := snapshot.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	reg.SetSnapshotStore(store)
+	ts := httptest.NewServer(New(reg).Handler())
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+// doRaw sends a raw (possibly malformed) body.
+func doRaw(t *testing.T, method, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestErrorPaths is the table-driven sweep over the service's failure
+// modes: each row provokes one and checks the status code the client
+// contract promises.
+func TestErrorPaths(t *testing.T) {
+	store, err := snapshot.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	reg.SetSnapshotStore(store)
+	reg.SetDefaultLimits(registry.Limits{MaxForestNodes: 3})
+	srv := New(reg)
+	srv.SetMaxBatchInputs(2)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	if resp, _ := do(t, "PUT", ts.URL+"/v1/grammars/bool", map[string]any{"source": boolSrc}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("setup register: %d", resp.StatusCode)
+	}
+
+	tests := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"malformed json", "POST", "/v1/grammars/bool/parse", `{"input": `, http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/grammars/bool/parse", `{"bogus": 1}`, http.StatusBadRequest},
+		{"unknown grammar parse", "POST", "/v1/grammars/nope/parse", `{"input":"true"}`, http.StatusNotFound},
+		{"unknown grammar snapshot", "POST", "/v1/grammars/nope/snapshot", ``, http.StatusNotFound},
+		{"unknown grammar rules", "POST", "/v1/grammars/nope/rules", `{"add":"B ::= \"x\""}`, http.StatusNotFound},
+		{"empty batch", "POST", "/v1/grammars/bool/batch", `{"inputs":[]}`, http.StatusBadRequest},
+		{"oversized batch", "POST", "/v1/grammars/bool/batch", `{"inputs":["true","true","true"]}`, http.StatusRequestEntityTooLarge},
+		{"admission forest limit", "POST", "/v1/grammars/bool/parse", `{"input":"true or true or true","trees":true}`, http.StatusTooManyRequests},
+		{"unparseable input", "POST", "/v1/grammars/bool/parse", `{"input":"zzz"}`, http.StatusUnprocessableEntity},
+		{"bad register source", "PUT", "/v1/grammars/broken", `{"source":"START ::"}`, http.StatusUnprocessableEntity},
+		{"bad register form", "PUT", "/v1/grammars/broken", `{"source":"START ::= B","form":"nope"}`, http.StatusBadRequest},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if resp := doRaw(t, tc.method, ts.URL+tc.path, tc.body); resp.StatusCode != tc.want {
+				t.Errorf("%s %s: got %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+		})
+	}
+
+	// Batch items refused by admission control are flagged as throttled
+	// (retryable), not lumped in with tokenization errors.
+	_, body := do(t, "POST", ts.URL+"/v1/grammars/bool/batch",
+		map[string]any{"inputs": []any{"true or true or true", "zzz"}, "trees": true})
+	if body["throttled"].(float64) != 1 || body["errors"].(float64) != 2 {
+		t.Errorf("batch throttling: %v", body)
+	}
+	items := body["results"].([]any)
+	if items[0].(map[string]any)["throttled"] != true {
+		t.Errorf("throttled item not flagged: %v", items[0])
+	}
+	if _, flagged := items[1].(map[string]any)["throttled"]; flagged {
+		t.Errorf("tokenization error wrongly flagged throttled: %v", items[1])
+	}
+
+	// The 429s show up in service stats.
+	_, body = do(t, "GET", ts.URL+"/v1/stats", nil)
+	if body["admission_rejected_total"].(float64) < 2 {
+		t.Errorf("429s not counted: %v", body["admission_rejected_total"])
+	}
+}
+
+func TestSnapshotEndpointNoStore(t *testing.T) {
+	ts := newTestServer(t) // no snapshot store configured
+	do(t, "PUT", ts.URL+"/v1/grammars/bool", map[string]any{"source": boolSrc})
+	if resp := doRaw(t, "POST", ts.URL+"/v1/grammars/bool/snapshot", ""); resp.StatusCode != http.StatusConflict {
+		t.Errorf("snapshot without store: %d, want 409", resp.StatusCode)
+	}
+	if resp := doRaw(t, "POST", ts.URL+"/v1/snapshot", ""); resp.StatusCode != http.StatusConflict {
+		t.Errorf("snapshot-all without store: %d, want 409", resp.StatusCode)
+	}
+	// Stats omit the snapshot section when disabled.
+	_, body := do(t, "GET", ts.URL+"/v1/stats", nil)
+	if _, present := body["snapshots"]; present {
+		t.Errorf("stats should omit snapshots when disabled: %v", body)
+	}
+}
+
+func TestSnapshotEntryWithNoTableYet(t *testing.T) {
+	// Snapshotting a freshly registered grammar — no parse has expanded
+	// anything beyond the start state — must work: the snapshot records
+	// the (nearly empty) lazy frontier.
+	ts, _ := newSnapshotServer(t, t.TempDir())
+	do(t, "PUT", ts.URL+"/v1/grammars/bool", map[string]any{"source": boolSrc})
+	resp, body := do(t, "POST", ts.URL+"/v1/grammars/bool/snapshot", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot cold entry: %d %v", resp.StatusCode, body)
+	}
+	if body["states"].(float64) < 1 || body["complete_states"].(float64) != 0 {
+		t.Errorf("cold snapshot shape: %v", body)
+	}
+	if body["grammar_hash"].(string) == "" {
+		t.Errorf("missing grammar hash: %v", body)
+	}
+}
+
+// TestKillAndRestartDemo is the acceptance demo: warm a grammar through
+// the HTTP service, snapshot, "kill" the process, restart over the same
+// snapshot directory, and verify the first parse after restart performs
+// ZERO lazy state expansions. The corrupted-snapshot variant falls back
+// cold with no error visible to the client.
+func TestKillAndRestartDemo(t *testing.T) {
+	dir := t.TempDir()
+
+	// --- process 1: earn the table, snapshot, die ---
+	ts1, _ := newSnapshotServer(t, dir)
+	if resp, _ := do(t, "PUT", ts1.URL+"/v1/grammars/calc", map[string]any{"source": calcSDF}); resp.StatusCode != http.StatusCreated {
+		t.Fatal("register failed")
+	}
+	_, body := do(t, "POST", ts1.URL+"/v1/grammars/calc/parse", map[string]any{"input": "1 + 2 * 3", "trees": true})
+	if body["accepted"] != true {
+		t.Fatalf("warm parse: %v", body)
+	}
+	_, info := do(t, "GET", ts1.URL+"/v1/grammars/calc", nil)
+	warmStates := info["complete_states"].(float64)
+	if warmStates == 0 || info["states_expanded"].(float64) == 0 {
+		t.Fatalf("nothing warmed: %v", info)
+	}
+	resp, snapBody := do(t, "POST", ts1.URL+"/v1/snapshot", nil)
+	if resp.StatusCode != http.StatusOK || snapBody["saved"].(float64) != 1 {
+		t.Fatalf("snapshot: %d %v", resp.StatusCode, snapBody)
+	}
+	ts1.Close() // kill
+
+	// --- process 2: restart over the same snapshot dir ---
+	ts2, _ := newSnapshotServer(t, dir)
+	if resp, _ := do(t, "PUT", ts2.URL+"/v1/grammars/calc", map[string]any{"source": calcSDF}); resp.StatusCode != http.StatusCreated {
+		t.Fatal("re-register failed")
+	}
+	_, info = do(t, "GET", ts2.URL+"/v1/grammars/calc", nil)
+	if info["restored_from_snapshot"] != true {
+		t.Fatalf("not restored: %v", info)
+	}
+	if info["complete_states"].(float64) != warmStates {
+		t.Errorf("restored %v complete states, warm had %v", info["complete_states"], warmStates)
+	}
+	_, body = do(t, "POST", ts2.URL+"/v1/grammars/calc/parse", map[string]any{"input": "1 + 2 * 3", "trees": true})
+	if body["accepted"] != true || body["trees"].(float64) != 1 {
+		t.Fatalf("parse after restart: %v", body)
+	}
+	_, info = do(t, "GET", ts2.URL+"/v1/grammars/calc", nil)
+	if got := info["states_expanded"].(float64); got != 0 {
+		t.Errorf("first parse after restart expanded %v states, want 0 (frontier not resumed)", got)
+	}
+	_, stats := do(t, "GET", ts2.URL+"/v1/stats", nil)
+	snaps := stats["snapshots"].(map[string]any)
+	if snaps["restores_total"].(float64) != 1 {
+		t.Errorf("restore not in stats: %v", snaps)
+	}
+	ts2.Close()
+
+	// --- variant: the snapshot is corrupted while the service is down ---
+	store, _ := snapshot.NewStore(dir)
+	path := store.Path("calc")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts3, _ := newSnapshotServer(t, dir)
+	if resp, _ := do(t, "PUT", ts3.URL+"/v1/grammars/calc", map[string]any{"source": calcSDF}); resp.StatusCode != http.StatusCreated {
+		t.Fatal("register over corrupt snapshot must still succeed")
+	}
+	_, info = do(t, "GET", ts3.URL+"/v1/grammars/calc", nil)
+	if info["restored_from_snapshot"] != false {
+		t.Errorf("corrupt snapshot must not restore: %v", info)
+	}
+	// The client sees a perfectly healthy service.
+	_, body = do(t, "POST", ts3.URL+"/v1/grammars/calc/parse", map[string]any{"input": "1 + 2 * 3", "trees": true})
+	if body["accepted"] != true || body["trees"].(float64) != 1 {
+		t.Errorf("cold fallback parse: %v", body)
+	}
+	_, stats = do(t, "GET", ts3.URL+"/v1/stats", nil)
+	snaps = stats["snapshots"].(map[string]any)
+	if snaps["errors_total"].(float64) != 1 {
+		t.Errorf("corruption not counted: %v", snaps)
+	}
+}

@@ -28,6 +28,11 @@ type GrammarSpec = registry.Spec
 // GrammarForm selects how a GrammarSpec source is read.
 type GrammarForm = registry.Form
 
+// EntryLimits is per-grammar admission control for registry entries:
+// max concurrent parses and max forest nodes (zero = unlimited). Set on
+// a GrammarSpec, or registry-wide with Registry.SetDefaultLimits.
+type EntryLimits = registry.Limits
+
 // Grammar source forms.
 const (
 	// FormAuto sniffs SDF ("module" keyword) vs plain rules.

@@ -1,0 +1,93 @@
+package ipg
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"ipg/internal/core"
+	"ipg/internal/lr"
+	"ipg/internal/snapshot"
+)
+
+// This file re-exports the snapshot/warm-restart subsystem: persisted
+// parse tables carry the full lazy state (frontier, publication flags,
+// invalidation history), are validated by grammar hash and checksum,
+// and a store writes them atomically so a crash never leaves a torn
+// snapshot. See internal/snapshot for the file format.
+
+// SnapshotStore manages a directory of checksummed per-grammar table
+// snapshots with atomic writes.
+type SnapshotStore = snapshot.Store
+
+// Snapshot is one persisted parse table with its validated header.
+type Snapshot = snapshot.Snapshot
+
+// SnapshotMeta is a snapshot's header: grammar hash, payload checksum
+// and table statistics.
+type SnapshotMeta = snapshot.Meta
+
+// NewSnapshotStore opens (creating if needed) a snapshot directory.
+func NewSnapshotStore(dir string) (*SnapshotStore, error) { return snapshot.NewStore(dir) }
+
+// GrammarHash fingerprints a grammar's rule set; a snapshot restores
+// only onto a grammar with the same hash.
+func GrammarHash(g *Grammar) string { return snapshot.Hash(g) }
+
+// SaveSnapshot persists the parser's table inside the checksummed
+// snapshot envelope: unlike the raw SaveTable format, the result
+// records the grammar hash, so LoadSnapshotParser can reject a stale
+// file instead of resolving it against the wrong grammar, and detects
+// truncation or corruption by checksum. Only LR(0) tables are
+// persistable.
+func (p *Parser) SaveSnapshot(w io.Writer, name string) error {
+	if p.gen == nil {
+		return fmt.Errorf("ipg: LALR(1) tables are not persistable")
+	}
+	var buf bytes.Buffer
+	cov, err := p.gen.SaveTable(&buf)
+	if err != nil {
+		return err
+	}
+	return snapshot.Encode(w, &snapshot.Snapshot{
+		Meta: snapshot.Meta{
+			Name:        name,
+			GrammarHash: snapshot.Hash(p.g),
+			CreatedUnix: snapshot.Now(),
+			States:      cov.Initial + cov.Complete + cov.Dirty,
+			Complete:    cov.Complete,
+		},
+		Payload: buf.Bytes(),
+	})
+}
+
+// LoadSnapshotParser rebuilds a parser from a snapshot written by
+// SaveSnapshot, after verifying the payload checksum and that g's rule
+// set matches the snapshot's grammar hash. On any validation failure it
+// returns an error and the caller should build a cold parser instead.
+func LoadSnapshotParser(g *Grammar, r io.Reader, opts *Options) (*Parser, error) {
+	if opts != nil && opts.Table != LR0 {
+		return nil, fmt.Errorf("ipg: only LR(0) tables are persistable")
+	}
+	snap, err := snapshot.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := snap.ValidateFor(g); err != nil {
+		return nil, err
+	}
+	auto, err := lr.Load(g, bytes.NewReader(snap.Payload))
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{g: g}
+	if opts != nil {
+		p.opts = *opts
+	}
+	gcOpts := &core.Options{}
+	if opts != nil {
+		gcOpts.Policy = opts.GC
+	}
+	p.gen = core.NewFromAutomaton(auto, gcOpts)
+	return p, nil
+}

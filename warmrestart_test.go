@@ -1,0 +1,192 @@
+package ipg_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+
+	"ipg"
+	"ipg/internal/grammar"
+	"ipg/internal/sdf"
+)
+
+// These are the golden round-trip tests for the snapshot/warm-restart
+// subsystem: for each of the five paper fixtures, a warm parse's table
+// must survive Save/Load byte-identically, and a parser resumed from
+// the saved table must replay the same inputs with ZERO new state
+// expansions and the exact ACTION-call behavior of the warm original —
+// the paper's ~60% lazily generated frontier is an asset that outlives
+// the process that earned it.
+
+var fixtureFiles = []string{"exp.sdf", "Calc.sdf", "Exam.sdf", "SDF.sdf", "ASF.sdf"}
+
+// fixtureGrammar converts one testdata SDF definition.
+func fixtureGrammar(t *testing.T, name string) *ipg.Grammar {
+	t.Helper()
+	src, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := sdf.ParseDefinition(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := sdf.Convert(def, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conv.Grammar
+}
+
+// warmSentences derives deterministic random sentences that exist in
+// the fixture's language, so the warm parse expands a realistic slice
+// of the table.
+func warmSentences(g *ipg.Grammar, seed int64, want int) [][]grammar.Symbol {
+	rng := rand.New(rand.NewSource(seed))
+	var out [][]grammar.Symbol
+	for tries := 0; len(out) < want && tries < want*20; tries++ {
+		s, ok := g.RandomSentence(rng, 8)
+		if !ok || len(s) == 0 || len(s) > 300 {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestWarmRestartGolden(t *testing.T) {
+	for _, name := range fixtureFiles {
+		t.Run(name, func(t *testing.T) {
+			g := fixtureGrammar(t, name)
+			warm, err := ipg.NewParser(g, &ipg.Options{Engine: ipg.GSS, DisableTrees: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sentences := warmSentences(g, 1989, 5)
+			if len(sentences) == 0 {
+				t.Fatalf("no sentences derivable from %s", name)
+			}
+
+			// Warm the table, then measure the second (fully warm) pass.
+			accepted := make([]bool, len(sentences))
+			for i, s := range sentences {
+				accepted[i], err = warm.Recognize(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := warm.Counters()
+			for i, s := range sentences {
+				ok, err := warm.Recognize(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != accepted[i] {
+					t.Fatalf("warm re-parse of sentence %d changed acceptance", i)
+				}
+			}
+			warmDelta := warm.Counters()
+			warmDelta.ActionCalls -= before.ActionCalls
+			warmDelta.StatesExpanded -= before.StatesExpanded
+			if warmDelta.StatesExpanded != 0 {
+				t.Fatalf("second warm pass expanded %d states; table not warm", warmDelta.StatesExpanded)
+			}
+
+			// Serialize, reload, re-serialize: byte-identical.
+			var save1 bytes.Buffer
+			if err := warm.SaveTable(&save1); err != nil {
+				t.Fatal(err)
+			}
+			resumed, err := ipg.NewParserFromTable(g, bytes.NewReader(save1.Bytes()), &ipg.Options{Engine: ipg.GSS, DisableTrees: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var save2 bytes.Buffer
+			if err := resumed.SaveTable(&save2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(save1.Bytes(), save2.Bytes()) {
+				t.Errorf("re-serialization not byte-identical (%d vs %d bytes)", save1.Len(), save2.Len())
+			}
+
+			// The resumed parser replays the workload with zero new
+			// expansions and the warm parser's exact ACTION behavior.
+			base := resumed.Counters()
+			for i, s := range sentences {
+				ok, err := resumed.Recognize(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok != accepted[i] {
+					t.Errorf("resumed parse of sentence %d changed acceptance", i)
+				}
+			}
+			resumedDelta := resumed.Counters()
+			resumedDelta.ActionCalls -= base.ActionCalls
+			resumedDelta.StatesExpanded -= base.StatesExpanded
+			if resumedDelta.StatesExpanded != 0 {
+				t.Errorf("resumed parser expanded %d states; frontier was not resumed", resumedDelta.StatesExpanded)
+			}
+			if resumedDelta.ActionCalls != warmDelta.ActionCalls {
+				t.Errorf("resumed ACTION calls %d, warm original %d — counter behavior diverged",
+					resumedDelta.ActionCalls, warmDelta.ActionCalls)
+			}
+
+			// Stats continuity: the resumed table remembers the work that
+			// built it.
+			ws, rs := warm.Stats(), resumed.Stats()
+			if ws.States != rs.States || ws.Complete != rs.Complete || ws.Expansions != rs.Expansions {
+				t.Errorf("stats diverged: warm %+v, resumed %+v", ws, rs)
+			}
+		})
+	}
+}
+
+// TestWarmRestartSnapshotEnvelope is the same round trip through the
+// checksummed snapshot envelope (SaveSnapshot/LoadSnapshotParser), plus
+// the two rejection paths: corrupted payload and wrong grammar.
+func TestWarmRestartSnapshotEnvelope(t *testing.T) {
+	g := fixtureGrammar(t, "Calc.sdf")
+	warm, err := ipg.NewParser(g, &ipg.Options{Engine: ipg.GSS, DisableTrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentences := warmSentences(g, 7, 3)
+	for _, s := range sentences {
+		if _, err := warm.Recognize(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := warm.SaveSnapshot(&snap, "calc"); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := ipg.LoadSnapshotParser(g, bytes.NewReader(snap.Bytes()), &ipg.Options{Engine: ipg.GSS, DisableTrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := resumed.Counters()
+	for _, s := range sentences {
+		if _, err := resumed.Recognize(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := resumed.Counters().StatesExpanded - base.StatesExpanded; d != 0 {
+		t.Errorf("snapshot resume expanded %d states", d)
+	}
+
+	// Corruption is detected by checksum, not silently loaded.
+	bad := append([]byte(nil), snap.Bytes()...)
+	bad[len(bad)-2] ^= 0x01
+	if _, err := ipg.LoadSnapshotParser(g, bytes.NewReader(bad), nil); err == nil {
+		t.Error("corrupted snapshot must not load")
+	}
+
+	// A different grammar is rejected by hash, not resolved wrongly.
+	other := fixtureGrammar(t, "exp.sdf")
+	if _, err := ipg.LoadSnapshotParser(other, bytes.NewReader(snap.Bytes()), nil); err == nil {
+		t.Error("snapshot must not load onto a different grammar")
+	}
+}
