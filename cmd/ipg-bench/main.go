@@ -3,15 +3,27 @@
 // LR(0)) and the four SDF inputs it measures construct / parse ×2 /
 // modify / parse ×2 and prints the series the figure plots.
 //
+// With -engines it instead runs the cross-engine comparison: the same
+// workloads (deterministic calculator, its LL(1) factoring, the SDF
+// bootstrap inputs) through every backend of internal/engine — lazy
+// GLR, LALR(1), LL(1), Earley and auto — measuring construct time,
+// cold (lazy warm-up) and steady-state parse passes. -json writes the
+// machine-readable results (the perf-trajectory artifact CI uploads as
+// BENCH_pr3.json).
+//
 // Usage:
 //
 //	ipg-bench [-testdata dir] [-repeat n]
+//	ipg-bench -engines [-json BENCH_pr3.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"time"
 
 	"ipg/internal/harness"
@@ -21,7 +33,14 @@ import (
 func main() {
 	dir := flag.String("testdata", "testdata", "directory holding the four .sdf inputs")
 	repeat := flag.Int("repeat", 5, "repetitions per cell (minimum is kept)")
+	engines := flag.Bool("engines", false, "run the cross-engine comparison instead of Fig 7.1")
+	jsonPath := flag.String("json", "", "also write machine-readable results to this file (-engines mode)")
 	flag.Parse()
+
+	if *engines {
+		runEngines(*dir, *repeat, *jsonPath)
+		return
+	}
 
 	g := sdf.MustBootstrapGrammar()
 	inputs, err := harness.LoadInputs(*dir, g.Symbols())
@@ -51,6 +70,66 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// engineReport is the -json envelope of the cross-engine run.
+type engineReport struct {
+	Bench   string                 `json:"bench"`
+	Go      string                 `json:"go"`
+	Arch    string                 `json:"arch"`
+	Repeat  int                    `json:"repeat"`
+	Results []harness.EngineResult `json:"results"`
+}
+
+func runEngines(dir string, repeat int, jsonPath string) {
+	workloads, err := harness.EngineWorkloads(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := harness.RunEngines(workloads, repeat)
+
+	fmt.Println("Cross-engine comparison — construct / cold parse / steady parse (best of", repeat, "runs)")
+	fmt.Println()
+	current := ""
+	for _, r := range results {
+		if r.Workload != current {
+			current = r.Workload
+			fmt.Printf("%s (%d sentences, %d tokens)\n", r.Workload, r.Sentences, r.Tokens)
+			fmt.Printf("  %-8s %12s %12s %12s %14s\n", "", "construct", "cold", "steady", "tokens/s")
+		}
+		if r.Error != "" {
+			fmt.Printf("  %-8s %s\n", r.Engine, r.Error)
+			continue
+		}
+		name := r.Engine
+		if r.Selected != "" {
+			name = fmt.Sprintf("%s→%s", r.Engine, r.Selected)
+		}
+		fmt.Printf("  %-8s %12s %12s %12s %14.0f\n", name,
+			fmtDur(time.Duration(r.ConstructNS)),
+			fmtDur(time.Duration(r.WarmParseNS)),
+			fmtDur(time.Duration(r.ParseNS)),
+			r.TokensPerSec)
+		if r.Reason != "" {
+			fmt.Printf("  %-8s   %s\n", "", r.Reason)
+		}
+	}
+
+	if jsonPath == "" {
+		return
+	}
+	report := engineReport{
+		Bench: "engines", Go: runtime.Version(), Arch: runtime.GOARCH,
+		Repeat: repeat, Results: results,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
 }
 
 func fmtDur(d time.Duration) string {

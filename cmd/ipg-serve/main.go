@@ -6,17 +6,26 @@
 //
 // Usage:
 //
-//	ipg-serve [-addr :8080] [-grammar name=path ...]
-//	          [-snapshot-dir dir] [-snapshot-interval 5m]
-//	          [-max-parses n] [-max-forest-nodes n]
+//	ipg-serve [-addr :8080] [-grammar name=path ...] [-engine auto]
+//	          [-snapshot-dir dir] [-snapshot-interval 5m] [-snapshot-gzip]
+//	          [-max-parses n] [-max-forest-nodes n] [-rate r] [-burst n]
 //
 // Each -grammar flag preloads a grammar file at startup (.sdf files load
-// as SDF definitions, anything else as plain BNF). With -snapshot-dir
-// the service persists each grammar's lazily generated parse table —
-// on shutdown, every -snapshot-interval, and on POST /v1/snapshot — and
-// a restarted service resumes the saved tables instead of re-earning
-// them parse by parse (stale or corrupt snapshots fall back to cold
-// generation). -max-parses and -max-forest-nodes set per-grammar
+// as SDF definitions, anything else as plain BNF). -engine picks the
+// default parsing backend per registered grammar — glr (default), lalr,
+// ll, earley, or auto, which probes each grammar and records why it
+// chose what; registrations over HTTP may override it per grammar. With
+// -snapshot-dir the service persists each grammar's lazily generated
+// parse table — on shutdown, every -snapshot-interval, and on POST
+// /v1/snapshot — and a restarted service resumes the saved tables
+// instead of re-earning them parse by parse (stale or corrupt snapshots
+// fall back to cold generation; engines without persistable tables are
+// skipped). Interval and shutdown snapshots also compact the directory,
+// removing files for grammars explicitly unregistered over DELETE
+// (never for grammars merely not yet re-registered after a restart, so
+// warm restarts survive); -snapshot-gzip compresses the table payloads
+// (loading stays transparent either way).
+// -max-parses, -max-forest-nodes, -rate and -burst set per-grammar
 // admission control so a warm, heavily loaded service stays protected.
 // Example session:
 //
@@ -40,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"ipg/internal/engine"
 	"ipg/internal/registry"
 	"ipg/internal/serve"
 	"ipg/internal/snapshot"
@@ -63,26 +73,39 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	var grammars grammarFlags
 	flag.Var(&grammars, "grammar", "preload a grammar: name=path (repeatable; .sdf = SDF definition)")
+	engineName := flag.String("engine", "", "default parsing backend per grammar: glr, lalr, ll, earley or auto ('' = glr)")
 	snapDir := flag.String("snapshot-dir", "", "persist parse-table snapshots here; restart resumes them ('' = disabled)")
 	snapEvery := flag.Duration("snapshot-interval", 0, "also snapshot all grammars on this interval (0 = only on shutdown and POST /v1/snapshot)")
+	snapGzip := flag.Bool("snapshot-gzip", false, "gzip-compress snapshot table payloads (loading is transparent either way)")
 	maxParses := flag.Int("max-parses", 0, "per-grammar max concurrent parses; excess gets 429 (0 = unlimited)")
 	maxForest := flag.Int("max-forest-nodes", 0, "per-grammar max parse-forest nodes; larger parses get 429 (0 = unlimited)")
+	rate := flag.Float64("rate", 0, "per-grammar sustained parse requests per second; excess gets 429 (0 = unthrottled)")
+	burst := flag.Int("burst", 0, "per-grammar request burst on top of -rate (0 = max(1, rate))")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatchInputs, "max sentences per batch request")
 	flag.Parse()
 
+	kind, err := engine.ParseKind(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	reg := registry.New()
 	reg.SetLogf(log.Printf)
+	reg.SetDefaultEngine(kind)
 	reg.SetDefaultLimits(registry.Limits{
 		MaxConcurrentParses: *maxParses,
 		MaxForestNodes:      *maxForest,
+		RatePerSec:          *rate,
+		Burst:               *burst,
 	})
 	if *snapDir != "" {
 		store, err := snapshot.NewStore(*snapDir)
 		if err != nil {
 			log.Fatal(err)
 		}
+		store.SetGzip(*snapGzip)
 		reg.SetSnapshotStore(store)
-		log.Printf("snapshots enabled in %s", store.Dir())
+		log.Printf("snapshots enabled in %s (gzip=%v)", store.Dir(), *snapGzip)
 	}
 
 	for _, spec := range grammars {
@@ -103,7 +126,8 @@ func main() {
 		if e.Stats().Restored {
 			how = "warm (snapshot resumed)"
 		}
-		log.Printf("loaded grammar %q from %s [%s]", name, path, how)
+		log.Printf("loaded grammar %q from %s [engine %s: %s; %s]",
+			name, path, e.EngineKind(), e.Stats().EngineReason, how)
 	}
 
 	front := serve.New(reg)
@@ -128,6 +152,13 @@ func main() {
 						log.Printf("periodic snapshot: saved %d: %v", n, err)
 					} else if n > 0 {
 						log.Printf("periodic snapshot: saved %d grammars", n)
+					}
+					// Compact: drop snapshot files whose grammars have
+					// been unregistered since the last pass.
+					if removed, err := reg.SnapshotGC(); err != nil {
+						log.Printf("snapshot gc: %v", err)
+					} else if len(removed) > 0 {
+						log.Printf("snapshot gc: removed %d stale files (%s)", len(removed), strings.Join(removed, ", "))
 					}
 				case <-ctx.Done():
 					return
@@ -159,6 +190,11 @@ func main() {
 				log.Printf("shutdown snapshot: saved %d: %v", n, err)
 			} else {
 				log.Printf("shutdown snapshot: saved %d grammars; restart resumes them", n)
+			}
+			if removed, err := reg.SnapshotGC(); err != nil {
+				log.Printf("snapshot gc: %v", err)
+			} else if len(removed) > 0 {
+				log.Printf("snapshot gc: removed %d stale files", len(removed))
 			}
 		}
 	}

@@ -9,6 +9,14 @@
 //	ipg -grammar Exp.sdf -text "1 + 2 * 3"
 //	ipg -grammar booleans.bnf -repl
 //	ipg -grammar booleans.bnf -repl -snapshot session.ipgsnap
+//	ipg -grammar calc.bnf -engine auto -parse "n + n"
+//
+// -engine selects the parsing backend: glr (default — the paper's lazy
+// incremental generator), lalr, ll, earley, or auto, which probes the
+// grammar, prints why it chose what, and keeps re-probing as rules are
+// added or deleted in the REPL. The non-GLR backends drive the same
+// REPL and parse/text modes; -load-table/-save-table/-snapshot require
+// the default engine, whose lazy table is the thing worth persisting.
 //
 // -snapshot names a checksummed session file: the table generated this
 // session (including its lazy frontier) is saved atomically on exit and
@@ -50,6 +58,7 @@ func main() {
 	loadTable := flag.String("load-table", "", "resume from a saved parse table (BNF grammars only)")
 	saveTable := flag.String("save-table", "", "persist the (possibly partial) parse table on exit")
 	session := flag.String("snapshot", "", "checksummed session file: resume the table from it if valid, save on exit (BNF grammars only)")
+	engineName := flag.String("engine", "", "parsing backend: glr (default), lalr, ll, earley or auto")
 	flag.Parse()
 
 	if *grammarPath == "" {
@@ -59,6 +68,18 @@ func main() {
 	src, err := os.ReadFile(*grammarPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	kind, err := ipg.ParseEngineName(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if kind != ipg.EngineDefault && kind != ipg.EngineGLR {
+		if *loadTable != "" || *saveTable != "" || *session != "" {
+			log.Fatalf("-load-table/-save-table/-snapshot require the glr engine (got -engine %s)", kind)
+		}
+		runWithEngine(kind, *grammarPath, string(src), *start, *parse, *text, *repl, *showTrees)
+		return
 	}
 
 	var p *ipg.Parser
@@ -150,6 +171,107 @@ func main() {
 	default:
 		fmt.Printf("loaded %s: %d rules\n", *grammarPath, p.Grammar().Len())
 		fmt.Print(p.Grammar().String())
+	}
+}
+
+// runWithEngine drives -parse/-text/-repl through a registry entry on a
+// non-default backend — the same code path ipg-serve uses, so the CLI
+// and the service agree about every engine's behavior.
+func runWithEngine(kind ipg.EngineKind, grammarPath, src, start, parse, text string, repl, showTrees bool) {
+	form := ipg.FormRules
+	if strings.HasSuffix(grammarPath, ".sdf") {
+		form = ipg.FormSDF
+	}
+	reg := ipg.NewRegistry()
+	entry, err := reg.Register(filepath.Base(grammarPath), ipg.GrammarSpec{
+		Source: src, Form: form, StartSort: start, Engine: kind,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := entry.Stats()
+	fmt.Printf("engine: %s (%s)\n", st.Engine, st.EngineReason)
+
+	report := func(res ipg.RegistryResult) {
+		fmt.Println("accepted:", res.Accepted)
+		if res.TreesKnown && res.Accepted {
+			fmt.Println("parses:  ", res.Trees)
+		}
+		if !res.Accepted && res.ErrorPos >= 0 {
+			expected, _ := entry.Describe(res, false)
+			fmt.Printf("error:    token %d, expected %s\n", res.ErrorPos, strings.Join(expected, " or "))
+		}
+		if showTrees && res.Root != nil {
+			_, forestText := entry.Describe(res, true)
+			fmt.Println("  ", forestText)
+		}
+		st := entry.Stats()
+		fmt.Printf("table:    %d states, %d expanded\n", st.States, st.Complete)
+	}
+
+	parseInput := func(input string) {
+		res, err := entry.ParseInput(input, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(res)
+	}
+
+	switch {
+	case text != "":
+		parseInput(text)
+	case parse != "":
+		toks, err := entry.Tokens(parse)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := entry.Parse(toks, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(res)
+	case repl:
+		sc := bufio.NewScanner(os.Stdin)
+		fmt.Println("ipg repl — :add/:delete/:stats/:quit, anything else parses")
+		fmt.Print("> ")
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			switch {
+			case line == "":
+			case line == ":quit":
+				return
+			case line == ":stats":
+				st := entry.Stats()
+				fmt.Printf("engine=%s states=%d expanded=%d parses=%d\n",
+					st.Engine, st.States, st.Complete, st.Counters.ParsesServed)
+				fmt.Printf("reason: %s\n", st.EngineReason)
+			case strings.HasPrefix(line, ":add "):
+				if _, err := entry.AddRulesText(strings.TrimPrefix(line, ":add ")); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Printf("ok [engine %s]\n", entry.EngineKind())
+				}
+			case strings.HasPrefix(line, ":delete "):
+				if _, err := entry.DeleteRulesText(strings.TrimPrefix(line, ":delete ")); err != nil {
+					fmt.Println("error:", err)
+				} else {
+					fmt.Printf("ok [engine %s]\n", entry.EngineKind())
+				}
+			case strings.HasPrefix(line, ":"):
+				fmt.Println("unknown command", line, "(:table/:graph need the glr engine)")
+			default:
+				res, err := entry.ParseInput(line, true)
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				report(res)
+			}
+			fmt.Print("> ")
+		}
+	default:
+		fmt.Printf("loaded %s: %d rules [engine %s]\n", grammarPath, entry.Grammar().Len(), st.Engine)
+		fmt.Print(entry.Grammar().String())
 	}
 }
 

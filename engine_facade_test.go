@@ -1,0 +1,51 @@
+package ipg
+
+import (
+	"strings"
+	"testing"
+)
+
+const calcDetFacade = `
+START ::= E
+E ::= E "+" T | E "-" T | T
+T ::= T "*" F | T "/" F | F
+F ::= "n" | "(" E ")"
+`
+
+func TestFacadeEngineSelection(t *testing.T) {
+	g, err := ParseGrammar(calcDetFacade)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, reason := ProbeEngine(g)
+	if kind != EngineLALR {
+		t.Fatalf("ProbeEngine picked %v (%s), want lalr", kind, reason)
+	}
+	if !strings.Contains(reason, "conflict-free") {
+		t.Errorf("probe reason %q does not explain the verdict", reason)
+	}
+
+	reg := NewRegistry()
+	for _, kind := range []EngineKind{EngineGLR, EngineLALR, EngineEarley, EngineAuto} {
+		e, err := reg.Register("calc-"+kind.String(), GrammarSpec{Source: calcDetFacade, Engine: kind})
+		if err != nil {
+			t.Fatalf("register %v: %v", kind, err)
+		}
+		res, err := e.ParseInput("( n + n ) * n", true)
+		if err != nil || !res.Accepted {
+			t.Errorf("engine %v: err=%v accepted=%v", kind, err, res.Accepted)
+		}
+	}
+}
+
+func TestFacadeParseEngineName(t *testing.T) {
+	if k, err := ParseEngineName("auto"); err != nil || k != EngineAuto {
+		t.Errorf("ParseEngineName(auto) = %v, %v", k, err)
+	}
+	if _, err := ParseEngineName("nope"); err == nil {
+		t.Error("ParseEngineName accepted an unknown name")
+	}
+	if !EngineCapsOf(EngineGLR).Snapshot || EngineCapsOf(EngineLALR).Snapshot {
+		t.Error("capability matrix wrong about snapshots")
+	}
+}

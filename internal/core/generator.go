@@ -278,6 +278,18 @@ type Counters struct {
 	ParsesServed uint64
 }
 
+// Plus returns the field-wise sum of two counter samples — used to
+// aggregate counters across generations of a replaced engine.
+func (c Counters) Plus(d Counters) Counters {
+	return Counters{
+		ActionCalls:       c.ActionCalls + d.ActionCalls,
+		CacheHits:         c.CacheHits + d.CacheHits,
+		StatesExpanded:    c.StatesExpanded + d.StatesExpanded,
+		StatesInvalidated: c.StatesInvalidated + d.StatesInvalidated,
+		ParsesServed:      c.ParsesServed + d.ParsesServed,
+	}
+}
+
 // HitRate is the fraction of Actions calls served from already-expanded
 // states (0 when no actions have been requested yet).
 func (c Counters) HitRate() float64 {

@@ -13,6 +13,7 @@ package earley
 
 import (
 	"fmt"
+	"sort"
 
 	"ipg/internal/grammar"
 )
@@ -66,10 +67,25 @@ func (p *Parser) Recognize(input []grammar.Symbol) bool {
 
 // RecognizeStats is Recognize with work counters.
 func (p *Parser) RecognizeStats(input []grammar.Symbol) (bool, Stats) {
-	return p.recognize(input)
+	ok, stats, _, _ := p.recognizeDiag(input)
+	return ok, stats
+}
+
+// RecognizeDiag reports acceptance plus a rejection diagnostic in the shape
+// the LR engines produce: errPos is the index of the first token no item
+// could scan (len(input) when the sentence is a proper prefix), and
+// expected lists the terminals that would have allowed progress there.
+// errPos is -1 for accepted inputs.
+func (p *Parser) RecognizeDiag(input []grammar.Symbol) (ok bool, stats Stats, errPos int, expected []grammar.Symbol) {
+	return p.recognizeDiag(input)
 }
 
 func (p *Parser) recognize(input []grammar.Symbol) (bool, Stats) {
+	ok, stats, _, _ := p.recognizeDiag(input)
+	return ok, stats
+}
+
+func (p *Parser) recognizeDiag(input []grammar.Symbol) (bool, Stats, int, []grammar.Symbol) {
 	g := p.g
 	nullable := g.Nullable()
 	n := len(input)
@@ -130,8 +146,27 @@ func (p *Parser) recognize(input []grammar.Symbol) (bool, Stats) {
 
 	for _, it := range sets[n] {
 		if it.rule.Lhs == g.Start() && it.atEnd() && it.origin == 0 {
-			return true, stats
+			return true, stats, -1, nil
 		}
 	}
-	return false, stats
+
+	// Rejected: the parse died at the last set still holding items — the
+	// token at that index could not be scanned by any of them (or, when
+	// every set is populated, the sentence stopped one derivation short).
+	last := n
+	for last > 0 && len(sets[last]) == 0 {
+		last--
+	}
+	seenExp := map[grammar.Symbol]bool{}
+	var expected []grammar.Symbol
+	for _, it := range sets[last] {
+		sym := it.afterDot()
+		if sym == grammar.NoSymbol || g.Symbols().Kind(sym) != grammar.Terminal || seenExp[sym] {
+			continue
+		}
+		seenExp[sym] = true
+		expected = append(expected, sym)
+	}
+	sort.Slice(expected, func(i, j int) bool { return expected[i] < expected[j] })
+	return false, stats, last, expected
 }

@@ -137,3 +137,31 @@ func TestAgreesWithGLR(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRecognizeDiag(t *testing.T) {
+	g := fixtures.Booleans()
+	p := New(g)
+	if ok, _, errPos, _ := p.RecognizeDiag(fixtures.Tokens(g, "true or false")); !ok || errPos != -1 {
+		t.Fatalf("accepted sentence: ok=%v errPos=%d, want true, -1", ok, errPos)
+	}
+	for _, tc := range []struct {
+		input   string
+		wantPos int
+	}{
+		{"true or or", 2},
+		{"or true", 0},
+		{"true or", 2}, // proper prefix: dies at end of input
+	} {
+		ok, _, errPos, expected := p.RecognizeDiag(fixtures.Tokens(g, tc.input))
+		if ok {
+			t.Errorf("RecognizeDiag(%q) accepted", tc.input)
+			continue
+		}
+		if errPos != tc.wantPos {
+			t.Errorf("RecognizeDiag(%q) errPos = %d, want %d", tc.input, errPos, tc.wantPos)
+		}
+		if len(expected) == 0 {
+			t.Errorf("RecognizeDiag(%q) reported no expected terminals", tc.input)
+		}
+	}
+}

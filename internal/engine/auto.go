@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"ipg/internal/core"
+	"ipg/internal/grammar"
+	"ipg/internal/lalr"
+	"ipg/internal/ll"
+)
+
+// Auto probes the grammar and delegates to the cheapest adequate
+// backend, recording why:
+//
+//   - LALR(1) when the table is conflict-free — deterministic tenant
+//     grammars get the fast Yacc-style path;
+//   - LL(1) when LALR(1) conflicts but the prediction table is clean (a
+//     rare corner, present for symmetry with Fig 2.1);
+//   - lazy GLR otherwise — ambiguous or conflicted grammars keep the
+//     paper's machinery, including incremental updates and snapshots.
+//
+// After every rule update the grammar is re-probed: a modification can
+// move a grammar across the determinism boundary in either direction,
+// and the engine follows it (an already-warm lazy GLR table is kept when
+// the verdict does not change).
+type Auto struct {
+	opts Options
+
+	mu  sync.RWMutex
+	g   *grammar.Grammar
+	cur Engine
+	// retired accumulates the counters of replaced backends, so the
+	// entry's counters stay monotonic across reselections (a rule
+	// update must not reset parses_served to zero).
+	retired core.Counters
+}
+
+// NewAuto probes g and returns the auto engine with its selection made.
+func NewAuto(g *grammar.Grammar, opts *Options) *Auto {
+	a := &Auto{g: g}
+	if opts != nil {
+		a.opts = *opts
+	}
+	a.cur = probe(g, &a.opts)
+	return a
+}
+
+// Probe reports the backend auto-selection would pick for g and why,
+// without keeping the built engine — for diagnostics and docs.
+func Probe(g *grammar.Grammar) (Kind, string) {
+	e := probe(g, nil)
+	return e.Kind(), e.Reason()
+}
+
+// probe runs the selection: conflict-free ⇒ LALR(1); LL(1)-able ⇒ LL;
+// else lazy GLR. The LALR table built for conflict counting is adopted
+// by the LALR engine when it wins, so the probe is never wasted work on
+// the path that needs it.
+func probe(g *grammar.Grammar, opts *Options) Engine {
+	tbl := lalr.Generate(g)
+	if len(tbl.Conflicts()) == 0 {
+		reason := fmt.Sprintf("auto: LALR(1) — conflict-free (%d states, deterministic LR driver)",
+			tbl.Automaton().Len())
+		return newLALRFromTable(g, tbl, reason)
+	}
+	if lt := ll.Generate(g); len(lt.Conflicts()) == 0 {
+		reason := fmt.Sprintf("auto: LL(1) — %d LALR(1) conflicts but a clean prediction table", len(tbl.Conflicts()))
+		e := &LL{reason: reason, g: g, tbl: lt}
+		return e
+	}
+	c := tbl.Conflicts()[0]
+	reason := fmt.Sprintf("auto: lazy GLR — %d LALR(1) conflicts (first: %s on %q in state %d)",
+		len(tbl.Conflicts()), c.Kind, g.Symbols().Name(c.Symbol), c.State.ID)
+	return NewGLR(g, opts, reason)
+}
+
+// current returns the selected backend.
+func (a *Auto) current() Engine {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.cur
+}
+
+// Kind implements Engine, reporting the selected backend's kind.
+func (a *Auto) Kind() Kind { return a.current().Kind() }
+
+// Reason implements Engine: the prober's verdict.
+func (a *Auto) Reason() string { return a.current().Reason() }
+
+// Caps implements Engine: the selected backend's capabilities.
+func (a *Auto) Caps() Caps { return a.current().Caps() }
+
+// Parse implements Engine.
+func (a *Auto) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
+	return a.current().Parse(input, buildTrees)
+}
+
+// Recognize implements Engine.
+func (a *Auto) Recognize(input []grammar.Symbol) (bool, error) {
+	return a.current().Recognize(input)
+}
+
+// Counters implements Engine: the live backend's counters plus those
+// accumulated by backends retired at reselection.
+func (a *Auto) Counters() core.Counters {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.cur.Counters().Plus(a.retired)
+}
+
+// TableInfo implements Engine.
+func (a *Auto) TableInfo() TableInfo { return a.current().TableInfo() }
+
+// AddRule implements Engine: the rule is applied, then the grammar is
+// re-probed. The selection may change — e.g. a rule that introduces a
+// conflict moves a LALR(1) grammar onto the lazy-GLR path, and one that
+// breaks LL(1) moves an LL grammar to whichever backend now fits.
+//
+// How the rule is applied depends on the selected backend. GLR splices
+// through its generator (the incremental update is kept if GLR stays
+// selected) and Earley updates under its own write lock (its parses
+// read the rule set token by token). The table-driven backends (LALR,
+// LL) mutate the grammar directly instead of calling their AddRule:
+// their in-flight parses read only the immutable table built earlier
+// and the symbol kinds — never the rule set — and going through the
+// backend would regenerate a table that reselectLocked's probe is about
+// to build (and keep) anyway.
+func (a *Auto) AddRule(r *grammar.Rule) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch cur := a.cur.(type) {
+	case *GLR:
+		if err := cur.AddRule(r); err != nil {
+			return err
+		}
+	case *Earley:
+		if err := cur.AddRule(r); err != nil {
+			return err
+		}
+	default:
+		if err := a.g.AddRule(r); err != nil {
+			return err
+		}
+	}
+	a.reselectLocked()
+	return nil
+}
+
+// DeleteRule implements Engine; see AddRule for the per-backend
+// application strategy.
+func (a *Auto) DeleteRule(r *grammar.Rule) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch cur := a.cur.(type) {
+	case *GLR:
+		if err := cur.DeleteRule(r); err != nil {
+			return err
+		}
+	case *Earley:
+		if err := cur.DeleteRule(r); err != nil {
+			return err
+		}
+	default:
+		if _, err := a.g.DeleteRule(r); err != nil {
+			return err
+		}
+	}
+	a.reselectLocked()
+	return nil
+}
+
+// reselectLocked re-probes after a modification. A warm lazy-GLR table
+// survives a GLR→GLR verdict (the incremental splice already updated
+// it); every other verdict adopts the freshly probed engine, whose table
+// reflects the updated grammar, and banks the replaced backend's
+// counters so the entry's totals stay monotonic.
+func (a *Auto) reselectLocked() {
+	next := probe(a.g, &a.opts)
+	if _, stayGLR := a.cur.(*GLR); stayGLR && next.Kind() == KindGLR {
+		return
+	}
+	a.retired = a.retired.Plus(a.cur.Counters())
+	// Replacing a backend discards its table wholesale; count those
+	// states as invalidated so an auto entry reports the same
+	// regeneration cost an explicit LALR/LL entry would.
+	a.retired.StatesInvalidated += uint64(a.cur.TableInfo().States)
+	a.cur = next
+}
+
+// snapshotter resolves the selected backend's snapshot capability (nil
+// when it has none — only the lazy-GLR table persists).
+func (a *Auto) snapshotter() Snapshotter {
+	if s, ok := a.current().(Snapshotter); ok {
+		return s
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ipg/internal/core"
+	"ipg/internal/earley"
+	"ipg/internal/grammar"
+)
+
+// Earley is the table-free baseline behind the Engine interface: every
+// parse step recomputes its information from the grammar, so rule
+// updates cost nothing and acceptance covers every context-free grammar
+// — at the price of the slowest per-token work of all backends, and no
+// tree building. It is the flexibility end of the Fig 2.1 spectrum.
+type Earley struct {
+	reason string
+
+	mu sync.RWMutex
+	g  *grammar.Grammar
+	p  *earley.Parser
+
+	parsesServed atomic.Uint64
+	items        atomic.Uint64
+}
+
+// NewEarley builds an Earley engine for g; no precomputation happens.
+func NewEarley(g *grammar.Grammar, reason string) *Earley {
+	return &Earley{reason: reason, g: g, p: earley.New(g)}
+}
+
+// Kind implements Engine.
+func (e *Earley) Kind() Kind { return KindEarley }
+
+// Reason implements Engine.
+func (e *Earley) Reason() string { return e.reason }
+
+// Caps implements Engine.
+func (e *Earley) Caps() Caps { return CapsOf(KindEarley) }
+
+// Parse implements Engine. Earley recognizes only: buildTrees is
+// ignored (Caps().Trees is false), so an accepted Result carries no
+// forest and the caller cannot learn the ambiguity degree — only
+// accept/reject plus the rejection diagnostic.
+func (e *Earley) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.parsesServed.Add(1)
+	ok, stats, errPos, expected := e.p.RecognizeDiag(input)
+	e.items.Add(uint64(stats.Items))
+	if ok {
+		return Result{Accepted: true, ErrorPos: -1}, nil
+	}
+	return Result{ErrorPos: errPos, Expected: expected}, nil
+}
+
+// Recognize implements Engine.
+func (e *Earley) Recognize(input []grammar.Symbol) (bool, error) {
+	res, err := e.Parse(input, false)
+	return res.Accepted, err
+}
+
+// Counters implements Engine: Earley items stand in for action calls —
+// both count the per-token table/grammar consultations.
+func (e *Earley) Counters() core.Counters {
+	return core.Counters{
+		ParsesServed: e.parsesServed.Load(),
+		ActionCalls:  e.items.Load(),
+	}
+}
+
+// TableInfo implements Engine: there is no table at all.
+func (e *Earley) TableInfo() TableInfo { return TableInfo{} }
+
+// AddRule implements Engine: the grammar is the table, so the update is
+// complete the moment the rule is added.
+func (e *Earley) AddRule(r *grammar.Rule) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.g.AddRule(r); err != nil {
+		return fmt.Errorf("engine: earley add rule: %w", err)
+	}
+	return nil
+}
+
+// DeleteRule implements Engine.
+func (e *Earley) DeleteRule(r *grammar.Rule) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.g.DeleteRule(r); err != nil {
+		return fmt.Errorf("engine: earley delete rule: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"io"
+	"sync"
+
+	"ipg/internal/core"
+	"ipg/internal/glr"
+	"ipg/internal/grammar"
+	"ipg/internal/lr"
+)
+
+// GLR is the paper's IPG behind the Engine interface: a lazy incremental
+// LR(0) generator driving the graph-structured-stack parser. It is the
+// only engine whose table both updates incrementally and persists across
+// restarts (Snapshotter).
+type GLR struct {
+	reason string
+
+	// mu guards gen replacement (RestoreTable); the generator's own
+	// locks guard everything else.
+	mu   sync.RWMutex
+	gen  *core.Generator
+	opts core.Options
+}
+
+// NewGLR builds a lazy-GLR engine for g; no table generation happens
+// until the first parse.
+func NewGLR(g *grammar.Grammar, opts *Options, reason string) *GLR {
+	copts := core.Options{Policy: opts.gc()}
+	return &GLR{reason: reason, gen: core.New(g, &copts), opts: copts}
+}
+
+// Kind implements Engine.
+func (e *GLR) Kind() Kind { return KindGLR }
+
+// Reason implements Engine.
+func (e *GLR) Reason() string { return e.reason }
+
+// Caps implements Engine.
+func (e *GLR) Caps() Caps { return CapsOf(KindGLR) }
+
+// Generator exposes the backing lazy incremental generator.
+func (e *GLR) Generator() *core.Generator {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.gen
+}
+
+// Parse implements Engine: one GSS parse under the generator's shared
+// (read) access, expanding table states by need.
+func (e *GLR) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
+	gen := e.Generator()
+	gen.BeginParse()
+	defer gen.EndParse()
+	return glr.Parse(gen, input, &glr.Options{Engine: glr.GSS, DisableTrees: !buildTrees})
+}
+
+// Recognize implements Engine.
+func (e *GLR) Recognize(input []grammar.Symbol) (bool, error) {
+	res, err := e.Parse(input, false)
+	return res.Accepted, err
+}
+
+// Counters implements Engine.
+func (e *GLR) Counters() core.Counters { return e.Generator().Counters() }
+
+// TableInfo implements Engine.
+func (e *GLR) TableInfo() TableInfo {
+	cov := e.Generator().Coverage()
+	return TableInfo{
+		States:   cov.Initial + cov.Complete + cov.Dirty,
+		Complete: cov.Complete,
+		Initial:  cov.Initial,
+		Dirty:    cov.Dirty,
+	}
+}
+
+// AddRule implements Engine: ADD-RULE of section 6, splicing the new
+// rule into the existing table.
+func (e *GLR) AddRule(r *grammar.Rule) error { return e.Generator().AddRule(r) }
+
+// DeleteRule implements Engine: DELETE-RULE of section 6.
+func (e *GLR) DeleteRule(r *grammar.Rule) error { return e.Generator().DeleteRule(r) }
+
+// SaveTable implements Snapshotter: concurrent parses on published
+// states continue while the table serializes.
+func (e *GLR) SaveTable(w io.Writer) (core.CoverageStats, error) {
+	return e.Generator().SaveTable(w)
+}
+
+// RestoreTable implements Snapshotter, resuming a reloaded graph of item
+// sets. Call only before the engine serves traffic.
+func (e *GLR) RestoreTable(a *lr.Automaton) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gen = core.NewFromAutomaton(a, &e.opts)
+}

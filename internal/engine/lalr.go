@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ipg/internal/core"
+	"ipg/internal/glr"
+	"ipg/internal/grammar"
+	"ipg/internal/lalr"
+)
+
+// LALR is the Yacc baseline behind the Engine interface: an eagerly
+// generated LALR(1) table. Conflict-free grammars are driven by the
+// deterministic LR parser (the fast path the paper's Yacc comparison
+// assumes); conflicted grammars fall back to the GSS parser over the
+// same table, which simply splits where the lookaheads still allow more
+// than one action. A grammar modification regenerates the table from
+// scratch — the construct-time asymmetry Fig 7.1 measures.
+type LALR struct {
+	reason string
+
+	// mu guards tbl/g against regeneration racing parses.
+	mu  sync.RWMutex
+	g   *grammar.Grammar
+	tbl *lalr.Table
+
+	parsesServed atomic.Uint64
+	// regenerated/invalidated map table rebuilds onto the shared counter
+	// vocabulary: a rebuild "invalidates" every old state and "expands"
+	// every new one.
+	expanded    atomic.Uint64
+	invalidated atomic.Uint64
+}
+
+// NewLALR eagerly generates the LALR(1) table for g.
+func NewLALR(g *grammar.Grammar, reason string) *LALR {
+	return newLALRFromTable(g, lalr.Generate(g), reason)
+}
+
+// newLALRFromTable adopts an already generated table (the auto prober
+// builds one anyway to count conflicts; no point generating it twice).
+func newLALRFromTable(g *grammar.Grammar, tbl *lalr.Table, reason string) *LALR {
+	e := &LALR{reason: reason, g: g, tbl: tbl}
+	e.expanded.Add(uint64(tbl.Automaton().Len()))
+	return e
+}
+
+// Kind implements Engine.
+func (e *LALR) Kind() Kind { return KindLALR }
+
+// Reason implements Engine.
+func (e *LALR) Reason() string { return e.reason }
+
+// Caps implements Engine.
+func (e *LALR) Caps() Caps { return CapsOf(KindLALR) }
+
+// Table exposes the current LALR(1) table (for conflict reports).
+func (e *LALR) Table() *lalr.Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tbl
+}
+
+// Parse implements Engine. Conflict-free tables use the deterministic
+// LR-PARSE driver; conflicted ones the GSS driver.
+func (e *LALR) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.parsesServed.Add(1)
+	if len(e.tbl.Conflicts()) == 0 {
+		res, err := glr.Parse(e.tbl, input, &glr.Options{Engine: glr.Deterministic, DisableTrees: !buildTrees})
+		// A conflict our detector does not model (e.g. accept/reduce on
+		// $) surfaces here; the GSS driver handles it exactly.
+		if !errors.Is(err, glr.ErrNondeterministic) {
+			return res, err
+		}
+	}
+	return glr.Parse(e.tbl, input, &glr.Options{Engine: glr.GSS, DisableTrees: !buildTrees})
+}
+
+// Recognize implements Engine.
+func (e *LALR) Recognize(input []grammar.Symbol) (bool, error) {
+	res, err := e.Parse(input, false)
+	return res.Accepted, err
+}
+
+// Counters implements Engine: parses served, plus table rebuilds mapped
+// onto the expanded/invalidated vocabulary.
+func (e *LALR) Counters() core.Counters {
+	return core.Counters{
+		ParsesServed:      e.parsesServed.Load(),
+		StatesExpanded:    e.expanded.Load(),
+		StatesInvalidated: e.invalidated.Load(),
+	}
+}
+
+// TableInfo implements Engine: LALR tables are always fully generated.
+func (e *LALR) TableInfo() TableInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := e.tbl.Automaton().Len()
+	return TableInfo{States: n, Complete: n}
+}
+
+// AddRule implements Engine by full regeneration: the old table is
+// discarded wholesale (every state "invalidated"), exactly the cost
+// model the paper contrasts IPG against.
+func (e *LALR) AddRule(r *grammar.Rule) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.g.AddRule(r); err != nil {
+		return fmt.Errorf("engine: lalr add rule: %w", err)
+	}
+	e.regenerateLocked()
+	return nil
+}
+
+// DeleteRule implements Engine by full regeneration.
+func (e *LALR) DeleteRule(r *grammar.Rule) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.g.DeleteRule(r); err != nil {
+		return fmt.Errorf("engine: lalr delete rule: %w", err)
+	}
+	e.regenerateLocked()
+	return nil
+}
+
+func (e *LALR) regenerateLocked() {
+	e.invalidated.Add(uint64(e.tbl.Automaton().Len()))
+	e.tbl = lalr.Generate(e.g)
+	e.expanded.Add(uint64(e.tbl.Automaton().Len()))
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ipg/internal/core"
+	"ipg/internal/forest"
+	"ipg/internal/grammar"
+	"ipg/internal/ll"
+)
+
+// LL is LL(1) predictive parsing behind the Engine interface: the
+// second row of Fig 2.1. The accepted grammar class is the narrowest of
+// the backends — construction fails on non-LL(1) grammars, and a rule
+// update that introduces a conflict is rolled back — but within that
+// class the parser is table-driven, deterministic, and builds the same
+// unique tree the LR engines build.
+type LL struct {
+	reason string
+
+	mu  sync.RWMutex
+	g   *grammar.Grammar
+	tbl *ll.Table
+
+	parsesServed atomic.Uint64
+}
+
+// NewLL generates the LL(1) table for g, failing with the conflict list
+// when the grammar is not LL(1).
+func NewLL(g *grammar.Grammar, reason string) (*LL, error) {
+	tbl := ll.Generate(g)
+	if n := len(tbl.Conflicts()); n > 0 {
+		return nil, fmt.Errorf("engine: grammar is not LL(1) (%d conflicts): %w", n, ll.ErrNotLL1)
+	}
+	return &LL{reason: reason, g: g, tbl: tbl}, nil
+}
+
+// Kind implements Engine.
+func (e *LL) Kind() Kind { return KindLL }
+
+// Reason implements Engine.
+func (e *LL) Reason() string { return e.reason }
+
+// Caps implements Engine.
+func (e *LL) Caps() Caps { return CapsOf(KindLL) }
+
+// Parse implements Engine: one predictive parse, building the unique
+// tree when buildTrees is set.
+func (e *LL) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.parsesServed.Add(1)
+	if !buildTrees {
+		// Single pass, no node construction: diagnostics come from the
+		// same drive that would have built the tree.
+		ok, errPos, expected, err := e.tbl.ParseDiag(input)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			return Result{Accepted: true, ErrorPos: -1}, nil
+		}
+		return Result{ErrorPos: errPos, Expected: expected}, nil
+	}
+	f := forest.NewForest()
+	root, errPos, expected, err := e.tbl.ParseForest(input, f)
+	if err != nil {
+		return Result{}, err
+	}
+	if root == nil {
+		// Match GLR's shape: a tree-building rejection still carries its
+		// (partial) forest; the recognize-only path above never does, so
+		// forest-size admission limits cannot misfire on it.
+		return Result{ErrorPos: errPos, Expected: expected, Forest: f}, nil
+	}
+	return Result{Accepted: true, ErrorPos: -1, Root: root, Forest: f}, nil
+}
+
+// Recognize implements Engine.
+func (e *LL) Recognize(input []grammar.Symbol) (bool, error) {
+	res, err := e.Parse(input, false)
+	return res.Accepted, err
+}
+
+// Counters implements Engine.
+func (e *LL) Counters() core.Counters {
+	return core.Counters{ParsesServed: e.parsesServed.Load()}
+}
+
+// TableInfo implements Engine: one "state" per nonterminal row of the
+// prediction table, always fully generated.
+func (e *LL) TableInfo() TableInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := len(e.g.Symbols().Nonterminals())
+	return TableInfo{States: n, Complete: n}
+}
+
+// AddRule implements Engine by regenerating the prediction table. A rule
+// that makes the grammar non-LL(1) is rolled back and reported, so the
+// engine never serves a conflicted table.
+func (e *LL) AddRule(r *grammar.Rule) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.g.AddRule(r); err != nil {
+		return fmt.Errorf("engine: ll add rule: %w", err)
+	}
+	tbl := ll.Generate(e.g)
+	if n := len(tbl.Conflicts()); n > 0 {
+		if _, derr := e.g.DeleteRule(r); derr != nil {
+			return fmt.Errorf("engine: ll rollback after %d conflicts failed: %v", n, derr)
+		}
+		return fmt.Errorf("engine: rule makes the grammar non-LL(1) (%d conflicts), rolled back: %w", n, ll.ErrNotLL1)
+	}
+	e.tbl = tbl
+	return nil
+}
+
+// DeleteRule implements Engine by regeneration (deleting a rule cannot
+// introduce an LL(1) conflict, only remove one).
+func (e *LL) DeleteRule(r *grammar.Rule) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.g.DeleteRule(r); err != nil {
+		return fmt.Errorf("engine: ll delete rule: %w", err)
+	}
+	e.tbl = ll.Generate(e.g)
+	return nil
+}

@@ -1,0 +1,59 @@
+// The SDF parity test lives in the external test package: the harness
+// imports engine for the cross-engine benchmark procedure, so importing
+// it back from engine's internal tests would be a cycle.
+package engine_test
+
+import (
+	"testing"
+
+	"ipg/internal/engine"
+	"ipg/internal/harness"
+	"ipg/internal/sdf"
+)
+
+func TestParitySDFFixturesAcceptance(t *testing.T) {
+	// The SDF bootstrap grammar is the paper's own workload — left
+	// recursion puts LL out of scope, and GLR/LALR must agree on all
+	// five fixture files. Earley gets the two small ones (it is O(n³)
+	// by design).
+	g := sdf.MustBootstrapGrammar()
+	inputs, err := harness.LoadInputs("../../testdata", g.Symbols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	glrEng, err := engine.New(engine.KindGLR, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lalrEng, err := engine.New(engine.KindLALR, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	earleyEng, err := engine.New(engine.KindEarley, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, input := range inputs {
+		glrOK, err := glrEng.Recognize(input.Tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lalrOK, err := lalrEng.Recognize(input.Tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !glrOK || glrOK != lalrOK {
+			t.Errorf("%s: GLR=%v LALR=%v, want both accepted", input.Name, glrOK, lalrOK)
+		}
+		if len(input.Tokens) <= 200 {
+			earleyOK, err := earleyEng.Recognize(input.Tokens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if earleyOK != glrOK {
+				t.Errorf("%s: Earley=%v GLR=%v", input.Name, earleyOK, glrOK)
+			}
+		}
+	}
+}

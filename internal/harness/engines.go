@@ -1,0 +1,289 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ipg/internal/engine"
+	"ipg/internal/grammar"
+	"ipg/internal/sdf"
+)
+
+// This file is the cross-engine measurement procedure behind
+// `ipg-bench -engines`: the same workloads driven through every backend
+// of internal/engine, producing the construct/parse numbers that justify
+// per-grammar engine selection (LALR on deterministic grammars, lazy GLR
+// on ambiguous ones, Earley as the table-free floor).
+
+// EngineWorkload is one named workload: a grammar plus pre-tokenized
+// sentences.
+type EngineWorkload struct {
+	// Name identifies the workload in results.
+	Name string
+	// Grammar is the workload's grammar (shared read-only by engines).
+	Grammar *grammar.Grammar
+	// Sentences are the pre-tokenized inputs, all accepted by the
+	// grammar.
+	Sentences [][]grammar.Symbol
+	// Kinds are the backends measured on this workload (LL is absent
+	// where the grammar is not LL(1)).
+	Kinds []engine.Kind
+}
+
+// exprSentences builds a deterministic expression workload: n sentences
+// of growing size mixing the four operators and parentheses. No
+// randomness, so runs are comparable.
+func exprSentences(g *grammar.Grammar, n int) ([][]grammar.Symbol, error) {
+	ops := []string{"+", "-", "*", "/"}
+	lookup := func(name string) (grammar.Symbol, error) {
+		s, ok := g.Symbols().Lookup(name)
+		if !ok {
+			return grammar.NoSymbol, fmt.Errorf("harness: workload grammar lacks terminal %q", name)
+		}
+		return s, nil
+	}
+	out := make([][]grammar.Symbol, 0, n)
+	for i := 0; i < n; i++ {
+		var b strings.Builder
+		terms := 3 + i%8
+		for t := 0; t < terms; t++ {
+			if t > 0 {
+				b.WriteString(" " + ops[(i+t)%len(ops)] + " ")
+			}
+			if (i+t)%3 == 0 {
+				b.WriteString("( n " + ops[t%len(ops)] + " n )")
+			} else {
+				b.WriteString("n")
+			}
+		}
+		var toks []grammar.Symbol
+		for _, word := range strings.Fields(b.String()) {
+			s, err := lookup(word)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, s)
+		}
+		out = append(out, toks)
+	}
+	return out, nil
+}
+
+// EngineWorkloads builds the standard cross-engine workloads from the
+// testdata directory: the stratified calculator (deterministic, not
+// LL(1)), its LL(1) factoring, the genuinely ambiguous SDF calculator
+// (Calc.sdf — flat `EXP op EXP` rules disambiguated by priorities, so
+// auto must keep lazy GLR), and the paper's own SDF inputs over the
+// bootstrap grammar (exp.sdf and Exam.sdf — the sizes Earley can take
+// repeatedly; Fig 7.1 covers the big ones). The bootstrap grammar
+// turns out LALR(1)-conflict-free — it splits under LR(0) lookahead-
+// less parsing but is deterministic with one token of lookahead — so
+// only the Calc.sdf workload exercises the GLR-or-nothing case.
+func EngineWorkloads(dir string) ([]EngineWorkload, error) {
+	loadBNF := func(name string) (*grammar.Grammar, error) {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		return grammar.Parse(string(src), nil)
+	}
+
+	det, err := loadBNF("CalcDet.bnf")
+	if err != nil {
+		return nil, err
+	}
+	detSentences, err := exprSentences(det, 64)
+	if err != nil {
+		return nil, err
+	}
+	llg, err := loadBNF("CalcLL.bnf")
+	if err != nil {
+		return nil, err
+	}
+	llSentences, err := exprSentences(llg, 64)
+	if err != nil {
+		return nil, err
+	}
+
+	calcG, calcSentences, err := calcSDFWorkload(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	sdfG := sdf.MustBootstrapGrammar()
+	inputs, err := LoadInputs(dir, sdfG.Symbols())
+	if err != nil {
+		return nil, err
+	}
+	var sdfSentences [][]grammar.Symbol
+	for _, in := range inputs {
+		if len(in.Tokens) <= 200 {
+			sdfSentences = append(sdfSentences, in.Tokens)
+		}
+	}
+
+	return []EngineWorkload{
+		{
+			Name: "calc-det", Grammar: det, Sentences: detSentences,
+			Kinds: []engine.Kind{engine.KindGLR, engine.KindLALR, engine.KindEarley, engine.KindAuto},
+		},
+		{
+			Name: "calc-ll", Grammar: llg, Sentences: llSentences,
+			Kinds: []engine.Kind{engine.KindGLR, engine.KindLALR, engine.KindLL, engine.KindEarley, engine.KindAuto},
+		},
+		{
+			Name: "calc-sdf-ambiguous", Grammar: calcG, Sentences: calcSentences,
+			Kinds: []engine.Kind{engine.KindGLR, engine.KindLALR, engine.KindEarley, engine.KindAuto},
+		},
+		{
+			Name: "sdf-bootstrap", Grammar: sdfG, Sentences: sdfSentences,
+			Kinds: []engine.Kind{engine.KindGLR, engine.KindLALR, engine.KindEarley, engine.KindAuto},
+		},
+	}, nil
+}
+
+// calcSDFWorkload loads the ambiguous SDF calculator and tokenizes a
+// deterministic set of numeric expressions with its generated scanner.
+func calcSDFWorkload(dir string) (*grammar.Grammar, [][]grammar.Symbol, error) {
+	src, err := os.ReadFile(filepath.Join(dir, "Calc.sdf"))
+	if err != nil {
+		return nil, nil, err
+	}
+	def, err := sdf.ParseDefinition(string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	conv, err := sdf.Convert(def, "")
+	if err != nil {
+		return nil, nil, err
+	}
+	sc, err := conv.Scanner()
+	if err != nil {
+		return nil, nil, err
+	}
+	ops := []string{"+", "-", "*", "/", "^"}
+	var sentences [][]grammar.Symbol
+	for i := 0; i < 32; i++ {
+		var b strings.Builder
+		terms := 3 + i%6
+		for t := 0; t < terms; t++ {
+			if t > 0 {
+				b.WriteString(" " + ops[(i+t)%len(ops)] + " ")
+			}
+			fmt.Fprintf(&b, "%d", 1+(i+t)%9)
+		}
+		toks, _, err := sdf.TokenizeWith(sc, b.String(), conv.Grammar.Symbols())
+		if err != nil {
+			return nil, nil, err
+		}
+		sentences = append(sentences, toks)
+	}
+	return conv.Grammar, sentences, nil
+}
+
+// EngineResult is one (workload, engine) measurement.
+type EngineResult struct {
+	Workload string `json:"workload"`
+	Engine   string `json:"engine"`
+	// Selected and Reason report auto's concrete choice.
+	Selected string `json:"selected,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	// ConstructNS is engine construction (eager backends pay table
+	// generation here; lazy ones defer it into the first parses).
+	ConstructNS int64 `json:"construct_ns"`
+	// ParseNS is one full pass over the workload, recognition only,
+	// after a warm-up pass (so lazy tables are measured in steady
+	// state; warm-up cost is WarmParseNS).
+	ParseNS int64 `json:"parse_ns"`
+	// WarmParseNS is the first, cold pass — for lazy GLR it includes
+	// the by-need table expansion.
+	WarmParseNS int64 `json:"warm_parse_ns"`
+	Sentences   int   `json:"sentences"`
+	Tokens      int   `json:"tokens"`
+	// TokensPerSec is the steady-state throughput.
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	// Error marks backends a workload cannot use (e.g. LL on a
+	// left-recursive grammar).
+	Error string `json:"error,omitempty"`
+}
+
+// RunEngines measures every workload under each of its backends,
+// repeating `repeat` times and keeping per-phase minima (scheduler-noise
+// damping, as in Fig 7.1's procedure).
+func RunEngines(workloads []EngineWorkload, repeat int) []EngineResult {
+	if repeat < 1 {
+		repeat = 1
+	}
+	var out []EngineResult
+	for _, w := range workloads {
+		tokens := 0
+		for _, s := range w.Sentences {
+			tokens += len(s)
+		}
+		for _, kind := range w.Kinds {
+			res := EngineResult{
+				Workload: w.Name, Engine: kind.String(),
+				Sentences: len(w.Sentences), Tokens: tokens,
+			}
+			for i := 0; i < repeat; i++ {
+				construct, warm, parse, sel, reason, err := runEnginesOnce(kind, w)
+				if err != nil {
+					res.Error = err.Error()
+					break
+				}
+				if i == 0 || construct < time.Duration(res.ConstructNS) {
+					res.ConstructNS = construct.Nanoseconds()
+				}
+				if i == 0 || warm < time.Duration(res.WarmParseNS) {
+					res.WarmParseNS = warm.Nanoseconds()
+				}
+				if i == 0 || parse < time.Duration(res.ParseNS) {
+					res.ParseNS = parse.Nanoseconds()
+				}
+				res.Selected, res.Reason = sel, reason
+			}
+			if res.Error == "" && res.ParseNS > 0 {
+				res.TokensPerSec = float64(tokens) / (float64(res.ParseNS) / 1e9)
+			}
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+func runEnginesOnce(kind engine.Kind, w EngineWorkload) (construct, warm, parse time.Duration, selected, reason string, err error) {
+	start := time.Now()
+	e, err := engine.New(kind, w.Grammar, nil)
+	if err != nil {
+		return 0, 0, 0, "", "", err
+	}
+	construct = time.Since(start)
+	if kind == engine.KindAuto {
+		selected, reason = e.Kind().String(), e.Reason()
+	}
+
+	pass := func() (time.Duration, error) {
+		start := time.Now()
+		for _, s := range w.Sentences {
+			ok, err := e.Recognize(s)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return 0, errors.New("harness: engine rejected a workload sentence")
+			}
+		}
+		return time.Since(start), nil
+	}
+	if warm, err = pass(); err != nil {
+		return construct, 0, 0, selected, reason, err
+	}
+	if parse, err = pass(); err != nil {
+		return construct, warm, 0, selected, reason, err
+	}
+	return construct, warm, parse, selected, reason, nil
+}

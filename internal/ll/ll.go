@@ -9,7 +9,9 @@ package ll
 
 import (
 	"fmt"
+	"sort"
 
+	"ipg/internal/forest"
 	"ipg/internal/grammar"
 )
 
@@ -76,37 +78,160 @@ var ErrNotLL1 = fmt.Errorf("ll: grammar is not LL(1)")
 // Parse runs the table-driven predictive parser on input (terminals,
 // without end marker). It returns ErrNotLL1 when the table has conflicts.
 func (t *Table) Parse(input []grammar.Symbol) (bool, error) {
+	ok, _, _, err := t.ParseDiag(input)
+	return ok, err
+}
+
+// ParseForest runs the predictive parser and builds the parse tree into
+// f — the tree is unique because an LL(1) grammar is unambiguous, so the
+// "forest" never contains an ambiguity node and renders identically to
+// the one the LR engines build for the same sentence. On rejection it
+// reports the furthest input position reached and the terminals that
+// would have allowed progress there (the same diagnostic shape as
+// glr.Result). It returns ErrNotLL1 when the table has conflicts.
+func (t *Table) ParseForest(input []grammar.Symbol, f *forest.Forest) (root *forest.Node, errPos int, expected []grammar.Symbol, err error) {
 	if len(t.conflicts) > 0 {
-		return false, ErrNotLL1
+		return nil, -1, nil, ErrNotLL1
 	}
-	// Stack of grammar symbols, top at the end.
-	stack := []grammar.Symbol{t.g.Start()}
-	pos := 0
-	cur := func() grammar.Symbol {
+	if f == nil {
+		f = forest.NewForest()
+	}
+	_, root, errPos, expected = t.drive(input, f)
+	return root, errPos, expected, nil
+}
+
+// ParseDiag is recognition with the ParseForest diagnostics but without
+// any node construction — one pass, no allocation per matched token.
+// errPos is -1 for accepted inputs.
+func (t *Table) ParseDiag(input []grammar.Symbol) (ok bool, errPos int, expected []grammar.Symbol, err error) {
+	if len(t.conflicts) > 0 {
+		return false, -1, nil, ErrNotLL1
+	}
+	ok, _, errPos, expected = t.drive(input, nil)
+	return ok, errPos, expected, nil
+}
+
+// drive is the predictive-parse engine behind ParseForest and
+// ParseDiag. A nil forest skips tree building entirely.
+func (t *Table) drive(input []grammar.Symbol, f *forest.Forest) (ok bool, root *forest.Node, errPos int, expected []grammar.Symbol) {
+
+	// Furthest-failure tracking: predictive parsing never backtracks, so
+	// the first failure is also the furthest, but tracking it uniformly
+	// keeps the bookkeeping obviously correct.
+	failPos := -1
+	failExp := map[grammar.Symbol]bool{}
+	fail := func(pos int, exp ...grammar.Symbol) {
+		if pos > failPos {
+			failPos = pos
+			failExp = map[grammar.Symbol]bool{}
+		}
+		if pos == failPos {
+			for _, s := range exp {
+				failExp[s] = true
+			}
+		}
+	}
+	la := func(pos int) grammar.Symbol {
 		if pos < len(input) {
 			return input[pos]
 		}
 		return grammar.EOF
 	}
-	for len(stack) > 0 {
-		top := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if t.g.Symbols().Kind(top) == grammar.Terminal {
-			if cur() != top {
-				return false, nil
+
+	// predict looks up the rule for A on the current lookahead,
+	// recording the failure diagnostic when the cell is empty.
+	predict := func(a grammar.Symbol, pos int) (*grammar.Rule, bool) {
+		r, ok := t.m[a][la(pos)]
+		if !ok {
+			// Any terminal with a table entry for A would have worked.
+			row := make([]grammar.Symbol, 0, len(t.m[a]))
+			for sym := range t.m[a] {
+				row = append(row, sym)
 			}
+			fail(pos, row...)
+		}
+		return r, ok
+	}
+
+	// Explicit frame stack (like Table.Parse) rather than recursion:
+	// recursion depth is proportional to input length for recursive
+	// grammars, and a service input measured in megabytes must not be
+	// able to exhaust the goroutine stack.
+	type frame struct {
+		rule     *grammar.Rule
+		next     int // index into rule.Rhs
+		children []*forest.Node
+	}
+	startRule, ok := predict(t.g.Start(), 0)
+	if !ok {
+		return false, nil, failPos, expectedSlice(failExp)
+	}
+	stack := []frame{{rule: startRule}}
+	pos := 0
+	var node *forest.Node
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next == top.rule.Len() {
+			// Rule complete: build its node and hand it to the parent.
+			var done *forest.Node
+			if f != nil {
+				done = f.Rule(top.rule, top.children)
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				node = done
+				break
+			}
+			parent := &stack[len(stack)-1]
+			if f != nil {
+				parent.children = append(parent.children, done)
+			}
+			parent.next++
+			continue
+		}
+		sym := top.rule.Rhs[top.next]
+		if t.g.Symbols().Kind(sym) == grammar.Terminal {
+			if la(pos) != sym {
+				fail(pos, sym)
+				return false, nil, failPos, expectedSlice(failExp)
+			}
+			if f != nil {
+				top.children = append(top.children, f.Leaf(sym, pos))
+			}
+			top.next++
 			pos++
 			continue
 		}
-		r, ok := t.m[top][cur()]
+		r, ok := predict(sym, pos)
 		if !ok {
-			return false, nil
+			return false, nil, failPos, expectedSlice(failExp)
 		}
-		for i := r.Len() - 1; i >= 0; i-- {
-			stack = append(stack, r.Rhs[i])
-		}
+		stack = append(stack, frame{rule: r})
 	}
-	return pos == len(input), nil
+	// The start rule completed, consuming pos tokens.
+	if pos == len(input) {
+		// The LR engines accept with the start rule's (unit) right-hand
+		// side as root — they never reduce the start rule itself. Unwrap
+		// the unit start application so both render identically.
+		if node != nil && node.Kind() == forest.RuleNode && node.Rule().Lhs == t.g.Start() && len(node.Children()) == 1 {
+			node = node.Children()[0]
+		}
+		return true, node, -1, nil
+	}
+	// The start symbol derived a proper prefix; only end of input was
+	// legal after it.
+	fail(pos, grammar.EOF)
+	return false, nil, failPos, expectedSlice(failExp)
+}
+
+// expectedSlice sorts a failure's expected-terminal set.
+func expectedSlice(set map[grammar.Symbol]bool) []grammar.Symbol {
+	out := make([]grammar.Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // BuildRecursiveDescent compiles the grammar into a parsing program: one

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ipg/internal/fixtures"
+	"ipg/internal/forest"
 	"ipg/internal/grammar"
 )
 
@@ -127,5 +128,97 @@ A ::= "a" | ε
 	got, err := tbl.Parse(fixtures.Tokens(g, "b"))
 	if err != nil || !got {
 		t.Errorf("epsilon production through FOLLOW failed: %v %v", got, err)
+	}
+}
+
+func TestParseForestBuildsUniqueTree(t *testing.T) {
+	g := grammar.MustParse(llExpr)
+	tbl := Generate(g)
+	f := forest.NewForest()
+	root, errPos, _, err := tbl.ParseForest(fixtures.Tokens(g, "x + ( x + x )"), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root == nil || errPos != -1 {
+		t.Fatalf("ParseForest rejected an LL(1) sentence (errPos=%d)", errPos)
+	}
+	if n, err := forest.TreeCount(root); err != nil || n != 1 {
+		t.Fatalf("TreeCount = %d, %v; want exactly 1 (LL(1) is unambiguous)", n, err)
+	}
+	got := forest.String(root, g.Symbols())
+	if got == "" {
+		t.Fatal("empty tree rendering")
+	}
+}
+
+func TestParseForestDiagnostics(t *testing.T) {
+	g := grammar.MustParse(llExpr)
+	tbl := Generate(g)
+	syms := g.Symbols()
+	for _, tc := range []struct {
+		input   string
+		wantPos int
+	}{
+		{"x +", 2},      // Etail needs a T after "+"
+		{"+ x", 0},      // no prediction for E on "+"
+		{"x x", 1},      // trailing garbage after a complete E
+		{"( x + x", 4},  // unclosed paren: end of input
+	} {
+		toks := fixtures.Tokens(g, tc.input)
+		root, errPos, expected, err := tbl.ParseForest(toks, forest.NewForest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root != nil {
+			t.Errorf("ParseForest(%q) accepted", tc.input)
+			continue
+		}
+		if errPos != tc.wantPos {
+			t.Errorf("ParseForest(%q) errPos = %d, want %d (expected %v)", tc.input, errPos, tc.wantPos, expected)
+		}
+		if len(expected) == 0 {
+			t.Errorf("ParseForest(%q) reported no expected terminals", tc.input)
+		}
+		for _, s := range expected {
+			if s != grammar.EOF && syms.Kind(s) != grammar.Terminal {
+				t.Errorf("ParseForest(%q) expected non-terminal %q", tc.input, syms.Name(s))
+			}
+		}
+	}
+}
+
+func TestParseForestConflictedTable(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= S
+S ::= "a" S | "a"
+`)
+	tbl := Generate(g)
+	if _, _, _, err := tbl.ParseForest(fixtures.Tokens(g, "a a"), forest.NewForest()); !errors.Is(err, ErrNotLL1) {
+		t.Fatalf("ParseForest on conflicted table: err = %v, want ErrNotLL1", err)
+	}
+}
+
+func TestParseForestDeepInputNoStackGrowth(t *testing.T) {
+	// A service-sized, deeply right-recursive sentence must parse on the
+	// heap, not the goroutine stack: x + x + x + ... (100k terms).
+	g := grammar.MustParse(llExpr)
+	tbl := Generate(g)
+	syms := g.Symbols()
+	x, _ := syms.Lookup("x")
+	plus, _ := syms.Lookup("+")
+	const terms = 100_000
+	input := make([]grammar.Symbol, 0, 2*terms-1)
+	for i := 0; i < terms; i++ {
+		if i > 0 {
+			input = append(input, plus)
+		}
+		input = append(input, x)
+	}
+	root, errPos, _, err := tbl.ParseForest(input, forest.NewForest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root == nil {
+		t.Fatalf("deep input rejected at %d", errPos)
 	}
 }

@@ -1,0 +1,294 @@
+package registry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipg/internal/engine"
+	"ipg/internal/snapshot"
+)
+
+// calcDetSrc mirrors testdata/CalcDet.bnf: deterministic, LALR(1)-clean.
+const calcDetSrc = `
+START ::= E
+E ::= E "+" T | E "-" T | T
+T ::= T "*" F | T "/" F | F
+F ::= "n" | "(" E ")"
+`
+
+func TestSameGrammarUnderEveryEngine(t *testing.T) {
+	r := New()
+	for _, kind := range []engine.Kind{engine.KindGLR, engine.KindLALR, engine.KindEarley, engine.KindAuto} {
+		e, err := r.Register("calc-"+kind.String(), Spec{Source: calcDetSrc, Engine: kind})
+		if err != nil {
+			t.Fatalf("register with engine %v: %v", kind, err)
+		}
+		for input, want := range map[string]bool{
+			"n + n * n":     true,
+			"( n - n ) / n": true,
+			"n + +":         false,
+		} {
+			res, err := e.ParseInput(input, true)
+			if err != nil {
+				t.Fatalf("engine %v: ParseInput(%q): %v", kind, input, err)
+			}
+			if res.Accepted != want {
+				t.Errorf("engine %v: ParseInput(%q) accepted=%v, want %v", kind, input, res.Accepted, want)
+			}
+		}
+		st := e.Stats()
+		if kind != engine.KindAuto && st.Engine != kind {
+			t.Errorf("Stats().Engine = %v, want %v", st.Engine, kind)
+		}
+		if st.EngineReason == "" {
+			t.Errorf("engine %v: empty selection reason", kind)
+		}
+		if st.Counters.ParsesServed == 0 {
+			t.Errorf("engine %v: ParsesServed = 0", kind)
+		}
+	}
+}
+
+func TestAutoSelectionPerGrammar(t *testing.T) {
+	r := New()
+
+	// Deterministic calculator: auto must pick the LALR(1) fast path.
+	det, err := r.Register("calc", Spec{Source: calcDetSrc, Engine: engine.KindAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.EngineKind() != engine.KindLALR {
+		t.Errorf("auto picked %v for the deterministic calculator, want lalr (%s)",
+			det.EngineKind(), det.Stats().EngineReason)
+	}
+	if det.RequestedEngine() != engine.KindAuto {
+		t.Errorf("RequestedEngine = %v, want auto", det.RequestedEngine())
+	}
+
+	// The ambiguous SDF calculator (priorities, not stratification):
+	// auto must keep lazy GLR.
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "Calc.sdf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb, err := r.Register("calc-sdf", Spec{Source: string(src), Form: FormSDF, Engine: engine.KindAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amb.EngineKind() != engine.KindGLR {
+		t.Errorf("auto picked %v for the ambiguous SDF calculator, want glr (%s)",
+			amb.EngineKind(), amb.Stats().EngineReason)
+	}
+	if reason := amb.Stats().EngineReason; !strings.Contains(reason, "conflict") {
+		t.Errorf("selection reason %q does not mention conflicts", reason)
+	}
+	res, err := amb.ParseInput("1 + 2 * 3", true)
+	if err != nil || !res.Accepted || res.Trees != 1 {
+		t.Fatalf("auto/GLR SDF parse: err=%v accepted=%v trees=%d", err, res.Accepted, res.Trees)
+	}
+}
+
+func TestEarleyRejectsFilteredSDFGrammar(t *testing.T) {
+	// Calc.sdf carries priority/associativity filters, which need a
+	// parse forest to apply; a recognize-only backend would accept
+	// sentences every tree-building engine rejects, so the combination
+	// must be refused at registration.
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "Calc.sdf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if _, err := r.Register("calc", Spec{Source: string(src), Form: FormSDF, Engine: engine.KindEarley}); err == nil {
+		t.Fatal("registered a priority-filtered SDF grammar under the Earley engine")
+	} else if !strings.Contains(err.Error(), "filters") {
+		t.Fatalf("rejection does not explain the filter gap: %v", err)
+	}
+	// The same grammar is fine on a tree-building backend.
+	if _, err := r.Register("calc", Spec{Source: string(src), Form: FormSDF, Engine: engine.KindLALR}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalUpdateUnderNonIncrementalEngine(t *testing.T) {
+	r := New()
+	e, err := r.Register("calc", Spec{Source: calcDetSrc, Engine: engine.KindLALR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := e.AddRulesText(`F ::= "id"`); err != nil || n != 1 {
+		t.Fatalf("AddRulesText: n=%d err=%v", n, err)
+	}
+	res, err := e.ParseInput("id * n", false)
+	if err != nil || !res.Accepted {
+		t.Fatalf("parse with regenerated table: err=%v accepted=%v", err, res.Accepted)
+	}
+	if inv := e.Counters().StatesInvalidated; inv == 0 {
+		t.Error("LALR regeneration not visible in StatesInvalidated")
+	}
+	if e.Version() != 2 {
+		t.Errorf("version %d after one update, want 2", e.Version())
+	}
+}
+
+func TestDefaultEngine(t *testing.T) {
+	r := New()
+	r.SetDefaultEngine(engine.KindAuto)
+	e, err := r.Register("calc", Spec{Source: calcDetSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.EngineKind() != engine.KindLALR {
+		t.Errorf("default auto engine picked %v, want lalr", e.EngineKind())
+	}
+	explicit, err := r.Register("calc2", Spec{Source: calcDetSrc, Engine: engine.KindGLR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.EngineKind() != engine.KindGLR {
+		t.Errorf("explicit glr overridden to %v", explicit.EngineKind())
+	}
+}
+
+func TestRateLimitAdmission(t *testing.T) {
+	r := New()
+	e, err := r.Register("bool", Spec{
+		Source: boolSrc,
+		Limits: Limits{RatePerSec: 0.001, Burst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := e.ParseInput("true", false); err != nil {
+			t.Fatalf("parse %d within burst: %v", i, err)
+		}
+	}
+	_, err = e.ParseInput("true", false)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("3rd parse err = %v, want ErrRateLimited", err)
+	}
+	st := e.Stats()
+	if st.AdmissionRejected == 0 {
+		t.Error("rate-limit rejection not counted")
+	}
+	if st.Limits.RatePerSec == 0 || st.Limits.Burst != 2 {
+		t.Errorf("limits not echoed in stats: %+v", st.Limits)
+	}
+}
+
+func TestSnapshotDegradesGracefullyPerEngine(t *testing.T) {
+	dir := t.TempDir()
+	store, err := snapshot.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	r.SetSnapshotStore(store)
+	if _, err := r.Register("glr", Spec{Source: calcDetSrc, Engine: engine.KindGLR}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("lalr", Spec{Source: calcDetSrc, Engine: engine.KindLALR}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-entry: the GLR entry snapshots, the LALR entry reports the
+	// capability gap.
+	if _, err := r.SnapshotEntry("glr"); err != nil {
+		t.Fatalf("SnapshotEntry(glr): %v", err)
+	}
+	if _, err := r.SnapshotEntry("lalr"); !errors.Is(err, ErrNotSnapshottable) {
+		t.Fatalf("SnapshotEntry(lalr) err = %v, want ErrNotSnapshottable", err)
+	}
+
+	// Service-wide: non-snapshottable entries are skipped, not errors.
+	saved, err := r.SnapshotAll()
+	if err != nil {
+		t.Fatalf("SnapshotAll: %v", err)
+	}
+	if saved != 1 {
+		t.Fatalf("SnapshotAll saved %d, want 1 (the GLR entry)", saved)
+	}
+	if st := r.SnapshotStats(); st.Errors != 0 {
+		t.Errorf("capability gaps counted as snapshot errors: %d", st.Errors)
+	}
+
+	// A re-registration of the LALR entry must not try to restore.
+	e, err := r.Register("lalr", Spec{Source: calcDetSrc, Engine: engine.KindLALR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Restored {
+		t.Error("LALR entry claims to be restored from a snapshot")
+	}
+}
+
+func TestSnapshotGCRemovesUnregistered(t *testing.T) {
+	dir := t.TempDir()
+	store, err := snapshot.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	r.SetSnapshotStore(store)
+	for _, name := range []string{"keep", "drop"} {
+		if _, err := r.Register(name, Spec{Source: boolSrc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if saved, err := r.SnapshotAll(); err != nil || saved != 2 {
+		t.Fatalf("SnapshotAll: saved=%d err=%v", saved, err)
+	}
+	if !r.Remove("drop") {
+		t.Fatal("Remove(drop) = false")
+	}
+	removed, err := r.SnapshotGC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != "drop" {
+		t.Fatalf("SnapshotGC removed %v, want [drop]", removed)
+	}
+	names, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "keep" {
+		t.Fatalf("store holds %v after GC, want [keep]", names)
+	}
+}
+
+func TestSnapshotGCSparesUnregisteredOfPreviousRun(t *testing.T) {
+	dir := t.TempDir()
+	store, err := snapshot.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First process run: register and snapshot a grammar.
+	r1 := New()
+	r1.SetSnapshotStore(store)
+	if _, err := r1.Register("tenant", Spec{Source: boolSrc}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r1.SnapshotEntry("tenant"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second run: the grammar has not been re-registered yet. GC must
+	// not mistake restart-absence for removal — the snapshot is the
+	// warm restart the re-registration expects.
+	r2 := New()
+	r2.SetSnapshotStore(store)
+	if removed, err := r2.SnapshotGC(); err != nil || len(removed) != 0 {
+		t.Fatalf("SnapshotGC reclaimed %v (err %v) across a restart", removed, err)
+	}
+	e, err := r2.Register("tenant", Spec{Source: boolSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Stats().Restored {
+		t.Fatal("warm restart lost: entry generated cold")
+	}
+}

@@ -4,9 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
-	"ipg/internal/core"
+	"ipg/internal/engine"
 	"ipg/internal/lr"
 	"ipg/internal/snapshot"
 )
@@ -25,6 +26,11 @@ var ErrNoStore = errors.New("registry: no snapshot store configured")
 // ErrUnknownGrammar is returned (wrapped with the name) when a snapshot
 // is requested for a name with no registered entry.
 var ErrUnknownGrammar = errors.New("registry: unknown grammar")
+
+// ErrNotSnapshottable is returned when a snapshot is requested for an
+// entry whose engine keeps no persistable table (only lazy GLR does).
+// SnapshotAll skips such entries instead of failing.
+var ErrNotSnapshottable = errors.New("registry: entry's engine does not support snapshots")
 
 // SetSnapshotStore enables snapshot persistence through st (nil
 // disables it). Call before serving traffic; it is not synchronized
@@ -46,20 +52,34 @@ func (r *Registry) SetDefaultLimits(l Limits) { r.defaultLimits = l }
 // DefaultLimits returns the registry-wide default admission control.
 func (r *Registry) DefaultLimits() Limits { return r.defaultLimits }
 
+// SetDefaultEngine sets the backend applied to every spec registered
+// with engine.KindDefault (the zero value keeps lazy GLR). Call before
+// serving traffic.
+func (r *Registry) SetDefaultEngine(k engine.Kind) { r.defaultEngine = k }
+
+// DefaultEngine returns the registry-wide default backend.
+func (r *Registry) DefaultEngine() engine.Kind { return r.defaultEngine }
+
 func (r *Registry) logfSafe(format string, args ...any) {
 	if r.logf != nil {
 		r.logf(format, args...)
 	}
 }
 
-// tryRestore replaces e's cold generator with one resumed from the
-// store's snapshot, when one exists and its grammar hash matches the
-// freshly compiled grammar. Every failure mode — corrupt file, stale
-// hash, unloadable table — logs a reason and leaves the cold generator
-// in place: a snapshot can be lost, but it must never corrupt a table
-// or fail a registration.
-func (r *Registry) tryRestore(e *Entry, opts *core.Options) {
+// tryRestore replaces the engine's cold table with one resumed from the
+// store's snapshot, when the engine supports snapshots (lazy GLR) and a
+// snapshot exists whose grammar hash matches the freshly compiled
+// grammar. Every failure mode — unsupported engine, corrupt file, stale
+// hash, unloadable table — logs a reason and leaves the cold table in
+// place: a snapshot can be lost, but it must never corrupt a table or
+// fail a registration.
+func (r *Registry) tryRestore(e *Entry) {
 	if r.store == nil {
+		return
+	}
+	snapper := engine.SnapshotterOf(e.eng)
+	if snapper == nil {
+		r.logfSafe("snapshot %q: engine %s keeps no persistable table, generating cold", e.name, e.eng.Kind())
 		return
 	}
 	snap, err := r.store.Load(e.name)
@@ -82,7 +102,7 @@ func (r *Registry) tryRestore(e *Entry, opts *core.Options) {
 		r.logfSafe("snapshot %q: table load failed, generating cold: %v", e.name, err)
 		return
 	}
-	e.gen = core.NewFromAutomaton(auto, opts)
+	snapper.RestoreTable(auto)
 	e.restored = true
 	r.snapRestores.Add(1)
 	r.logfSafe("snapshot %q: resumed %d states (%d complete) from %s",
@@ -90,14 +110,19 @@ func (r *Registry) tryRestore(e *Entry, opts *core.Options) {
 }
 
 // Snapshot serializes the entry's table — lazy frontier, publication
-// flags, dirty history and work stats — into a validated snapshot.
-// Concurrent parses on already-expanded states proceed while the table
-// is serialized; expansions and rule updates wait.
+// flags, dirty history and work stats — into a validated snapshot. It
+// returns ErrNotSnapshottable (wrapped) for engines without persistable
+// tables. Concurrent parses on already-expanded states proceed while
+// the table is serialized; expansions and rule updates wait.
 func (e *Entry) Snapshot() (*snapshot.Snapshot, error) {
 	e.updateMu.RLock()
 	defer e.updateMu.RUnlock()
+	snapper := engine.SnapshotterOf(e.eng)
+	if snapper == nil {
+		return nil, fmt.Errorf("%w: %q uses engine %s", ErrNotSnapshottable, e.name, e.eng.Kind())
+	}
 	var buf bytes.Buffer
-	cov, err := e.gen.SaveTable(&buf)
+	cov, err := snapper.SaveTable(&buf)
 	if err != nil {
 		return nil, fmt.Errorf("registry: snapshot %q: %w", e.name, err)
 	}
@@ -132,6 +157,10 @@ func (r *Registry) SnapshotEntry(name string) (snapshot.Meta, error) {
 // snapshotEntry persists one already-resolved entry.
 func (r *Registry) snapshotEntry(e *Entry) (snapshot.Meta, error) {
 	snap, err := e.Snapshot()
+	if errors.Is(err, ErrNotSnapshottable) {
+		// Capability gap, not a failure: leave the error counters alone.
+		return snapshot.Meta{}, err
+	}
 	if err != nil {
 		r.snapErrors.Add(1)
 		return snapshot.Meta{}, err
@@ -145,9 +174,11 @@ func (r *Registry) snapshotEntry(e *Entry) (snapshot.Meta, error) {
 	return snap.Meta, nil
 }
 
-// SnapshotAll snapshots every registered entry, returning how many were
-// written and the joined errors of the rest. Call it on shutdown and on
-// a timer so a restarted service resumes warm.
+// SnapshotAll snapshots every registered entry whose engine supports
+// it, returning how many were written and the joined errors of the rest
+// (entries on non-persistable engines are skipped silently — a capability
+// gap, not a failure). Call it on shutdown and on a timer so a restarted
+// service resumes warm.
 func (r *Registry) SnapshotAll() (int, error) {
 	if r.store == nil {
 		return 0, ErrNoStore
@@ -156,12 +187,58 @@ func (r *Registry) SnapshotAll() (int, error) {
 	saved := 0
 	for _, e := range r.Entries() {
 		if _, err := r.snapshotEntry(e); err != nil {
-			errs = append(errs, err)
+			if !errors.Is(err, ErrNotSnapshottable) {
+				errs = append(errs, err)
+			}
 			continue
 		}
 		saved++
 	}
 	return saved, errors.Join(errs...)
+}
+
+// SnapshotGC removes the snapshot files of grammars explicitly
+// unregistered (Remove) since the last pass — the compaction side of a
+// long-lived snapshot directory, where tenants come and go but their
+// envelope files would otherwise accumulate forever. It returns the
+// reclaimed names.
+//
+// Only explicit removals are compacted: a name merely absent from the
+// registry may be an HTTP-registered grammar of a previous process run
+// whose snapshot is exactly the warm restart it expects on
+// re-registration, so absence is not treated as removal (use
+// snapshot.Store.GC directly for a keep-list sweep). Names whose
+// registration is mid-flight (between snapshot restore and publication)
+// are likewise never touched.
+func (r *Registry) SnapshotGC() ([]string, error) {
+	if r.store == nil {
+		return nil, ErrNoStore
+	}
+	restoring := map[string]bool{}
+	for _, name := range r.restoringNames() {
+		restoring[name] = true
+	}
+	r.mu.Lock()
+	candidates := make([]string, 0, len(r.removed))
+	for name := range r.removed {
+		if !restoring[name] {
+			candidates = append(candidates, name)
+		}
+	}
+	r.mu.Unlock()
+
+	var reclaimed []string
+	for _, name := range candidates {
+		r.store.Remove(name)
+		// Forget the name whether or not a file existed; re-removal
+		// after a future registration re-records it.
+		r.mu.Lock()
+		delete(r.removed, name)
+		r.mu.Unlock()
+		reclaimed = append(reclaimed, name)
+	}
+	sort.Strings(reclaimed)
+	return reclaimed, nil
 }
 
 // SnapshotStats describes the snapshot subsystem for stats endpoints.

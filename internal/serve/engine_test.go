@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ipg/internal/registry"
+	"ipg/internal/snapshot"
+)
+
+const calcDetSrc = `
+START ::= E
+E ::= E "+" T | E "-" T | T
+T ::= T "*" F | T "/" F | F
+F ::= "n" | "(" E ")"
+`
+
+func TestRegisterWithEngineOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	for _, kind := range []string{"glr", "lalr", "earley"} {
+		resp, body := do(t, "PUT", ts.URL+"/v1/grammars/calc-"+kind,
+			map[string]any{"source": calcDetSrc, "engine": kind})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register engine=%s: status %d (%v)", kind, resp.StatusCode, body)
+		}
+		if body["engine"] != kind {
+			t.Errorf("register engine=%s reported engine %v", kind, body["engine"])
+		}
+		resp, body = do(t, "POST", ts.URL+"/v1/grammars/calc-"+kind+"/parse",
+			map[string]any{"input": "n + n * n"})
+		if resp.StatusCode != http.StatusOK || body["accepted"] != true {
+			t.Errorf("engine=%s parse: status %d accepted=%v", kind, resp.StatusCode, body["accepted"])
+		}
+	}
+
+	// The same grammar served under three engines, visible service-wide.
+	resp, body := do(t, "GET", ts.URL+"/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: %d", resp.StatusCode)
+	}
+	engines, ok := body["engines"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats carry no engines map: %v", body)
+	}
+	for _, kind := range []string{"glr", "lalr", "earley"} {
+		if engines[kind] != float64(1) {
+			t.Errorf("stats engines[%s] = %v, want 1", kind, engines[kind])
+		}
+	}
+}
+
+func TestAutoEngineSelectionOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Deterministic calculator: auto reports the LALR(1) verdict.
+	resp, body := do(t, "PUT", ts.URL+"/v1/grammars/calc",
+		map[string]any{"source": calcDetSrc, "engine": "auto"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d (%v)", resp.StatusCode, body)
+	}
+	if body["engine"] != "lalr" || body["engine_requested"] != "auto" {
+		t.Errorf("auto on the calculator: engine=%v requested=%v, want lalr/auto (%v)",
+			body["engine"], body["engine_requested"], body["engine_reason"])
+	}
+	if reason, _ := body["engine_reason"].(string); reason == "" {
+		t.Error("no engine_reason in the register response")
+	}
+
+	// Ambiguous SDF: auto keeps lazy GLR, reason names the conflicts.
+	resp, body = do(t, "PUT", ts.URL+"/v1/grammars/calc-sdf",
+		map[string]any{"source": calcSDF, "form": "sdf", "engine": "auto"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register sdf: %d (%v)", resp.StatusCode, body)
+	}
+	if body["engine"] != "glr" {
+		t.Errorf("auto on ambiguous SDF: engine=%v, want glr (%v)", body["engine"], body["engine_reason"])
+	}
+
+	// The selection also shows in the per-entry stats endpoint.
+	_, body = do(t, "GET", ts.URL+"/v1/grammars/calc", nil)
+	if body["engine"] != "lalr" {
+		t.Errorf("GET stats engine=%v, want lalr", body["engine"])
+	}
+
+	// And /v1/stats reports every entry's chosen engine with its reason.
+	_, stats := do(t, "GET", ts.URL+"/v1/stats", nil)
+	selection, ok := stats["engine_selection"].(map[string]any)
+	if !ok {
+		t.Fatalf("/v1/stats carries no engine_selection: %v", stats)
+	}
+	calc, _ := selection["calc"].(map[string]any)
+	if calc["engine"] != "lalr" || calc["requested"] != "auto" {
+		t.Errorf("stats selection for calc = %v, want lalr requested by auto", calc)
+	}
+	if reason, _ := calc["reason"].(string); reason == "" {
+		t.Error("stats selection for calc has no reason")
+	}
+	sdf, _ := selection["calc-sdf"].(map[string]any)
+	if sdf["engine"] != "glr" {
+		t.Errorf("stats selection for calc-sdf = %v, want glr", sdf)
+	}
+}
+
+func TestUnknownEngineRejected(t *testing.T) {
+	ts := newTestServer(t)
+	resp, _ := do(t, "PUT", ts.URL+"/v1/grammars/x",
+		map[string]any{"source": calcDetSrc, "engine": "cyk"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown engine: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRateLimit429(t *testing.T) {
+	reg := registry.New()
+	reg.SetDefaultLimits(registry.Limits{RatePerSec: 0.001, Burst: 2})
+	ts := httptest.NewServer(New(reg).Handler())
+	t.Cleanup(ts.Close)
+
+	if _, err := reg.Register("bool", registry.Spec{Source: boolSrc}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, body := do(t, "POST", ts.URL+"/v1/grammars/bool/parse", map[string]any{"input": "true"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("parse %d within burst: %d (%v)", i, resp.StatusCode, body)
+		}
+	}
+	resp, _ := do(t, "POST", ts.URL+"/v1/grammars/bool/parse", map[string]any{"input": "true"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("parse beyond rate: status %d, want 429", resp.StatusCode)
+	}
+	_, stats := do(t, "GET", ts.URL+"/v1/stats", nil)
+	if stats["admission_rejected_total"] != float64(1) {
+		t.Errorf("admission_rejected_total = %v, want 1", stats["admission_rejected_total"])
+	}
+}
+
+func TestSnapshotConflictForNonSnapshottableEngine(t *testing.T) {
+	dir := t.TempDir()
+	reg := registry.New()
+	store, err := snapshot.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSnapshotStore(store)
+	ts := httptest.NewServer(New(reg).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, _ := do(t, "PUT", ts.URL+"/v1/grammars/calc",
+		map[string]any{"source": calcDetSrc, "engine": "lalr"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+	resp, body := do(t, "POST", ts.URL+"/v1/grammars/calc/snapshot", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("snapshot of an LALR entry: status %d (%v), want 409", resp.StatusCode, body)
+	}
+}

@@ -18,11 +18,18 @@
 //	POST   /v1/grammars/{name}/snapshot persist one entry's table
 //	POST   /v1/snapshot                 persist every entry's table
 //
+// A registration may pick its parsing backend ("engine": glr, lalr,
+// ll, earley, or auto — which probes the grammar and records why); the
+// chosen engine and its selection reason appear in the entry's stats,
+// and /v1/stats counts entries per engine.
+//
 // When the backing registry has a snapshot store, registering a grammar
 // whose snapshot matches resumes the saved lazy table instead of
-// generating cold, and /v1/stats reports the snapshot subsystem.
-// Admission-control rejections (per-entry concurrent-parse and
-// forest-size limits) map to 429 Too Many Requests.
+// generating cold, and /v1/stats reports the snapshot subsystem
+// (entries on engines without persistable tables are skipped; an
+// explicit snapshot request for one is 409). Admission-control
+// rejections (per-entry concurrent-parse, forest-size and request-rate
+// limits) map to 429 Too Many Requests.
 package serve
 
 import (
@@ -35,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ipg/internal/engine"
 	"ipg/internal/registry"
 )
 
@@ -170,8 +178,22 @@ type ServiceStats struct {
 	// Rejected429 counts admission-control rejections served as 429.
 	Rejected429 uint64 `json:"admission_rejected_total"`
 	Uptime      string `json:"uptime"`
+	// Engines counts entries by the concrete backend serving them, and
+	// EngineSelection spells out each entry's binding with its reason —
+	// the per-grammar selection at a glance.
+	Engines         map[string]int             `json:"engines,omitempty"`
+	EngineSelection map[string]EngineSelection `json:"engine_selection,omitempty"`
 	// Snapshots reports the snapshot subsystem (null when disabled).
 	Snapshots *SnapshotSubsystemStats `json:"snapshots,omitempty"`
+}
+
+// EngineSelection is one entry's engine binding in /v1/stats.
+type EngineSelection struct {
+	Engine string `json:"engine"`
+	// Requested is present when it differs from the concrete engine
+	// (i.e. auto registrations).
+	Requested string `json:"requested,omitempty"`
+	Reason    string `json:"reason"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -183,6 +205,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BatchSentences: s.batchSentences.Load(),
 		Rejected429:    s.rejected429.Load(),
 		Uptime:         time.Since(s.start).String(),
+	}
+	if entries := s.reg.Entries(); len(entries) > 0 {
+		out.Engines = make(map[string]int, 4)
+		out.EngineSelection = make(map[string]EngineSelection, len(entries))
+		for _, e := range entries {
+			st := e.Stats()
+			out.Engines[st.Engine.String()]++
+			sel := EngineSelection{Engine: st.Engine.String(), Reason: st.EngineReason}
+			if st.Requested == engine.KindAuto {
+				sel.Requested = st.Requested.String()
+			}
+			out.EngineSelection[st.Name] = sel
+		}
 	}
 	if st := s.reg.SnapshotStats(); st.Enabled {
 		out.Snapshots = &SnapshotSubsystemStats{
@@ -205,7 +240,14 @@ type EntryInfo struct {
 	Form    string `json:"form"`
 	Version uint64 `json:"version"`
 	Rules   int    `json:"rules"`
-	States  int    `json:"states"`
+	// Engine is the concrete backend serving the entry; EngineRequested
+	// is what the registration asked for ("auto" stays auto after
+	// selection), and EngineReason explains the binding — "requested",
+	// or the auto prober's verdict.
+	Engine          string `json:"engine"`
+	EngineRequested string `json:"engine_requested,omitempty"`
+	EngineReason    string `json:"engine_reason,omitempty"`
+	States          int    `json:"states"`
 	// Complete/Initial/Dirty break down the shared table: how much has
 	// been generated by need, and how much a modification invalidated.
 	Complete int `json:"complete_states"`
@@ -221,19 +263,23 @@ type EntryInfo struct {
 	// registration instead of generating cold.
 	Restored bool `json:"restored_from_snapshot"`
 	// InflightParses / AdmissionRejected describe admission control;
-	// the Max* fields echo the entry's limits (0 = unlimited).
-	InflightParses      int64  `json:"inflight_parses"`
-	AdmissionRejected   uint64 `json:"admission_rejected_total"`
-	MaxConcurrentParses int    `json:"max_concurrent_parses,omitempty"`
-	MaxForestNodes      int    `json:"max_forest_nodes,omitempty"`
+	// the Max*/Rate* fields echo the entry's limits (0 = unlimited).
+	InflightParses      int64   `json:"inflight_parses"`
+	AdmissionRejected   uint64  `json:"admission_rejected_total"`
+	MaxConcurrentParses int     `json:"max_concurrent_parses,omitempty"`
+	MaxForestNodes      int     `json:"max_forest_nodes,omitempty"`
+	RatePerSec          float64 `json:"rate_per_sec,omitempty"`
+	RateBurst           int     `json:"rate_burst,omitempty"`
 }
 
 func infoOf(st registry.Stats) EntryInfo {
-	return EntryInfo{
+	info := EntryInfo{
 		Name:                st.Name,
 		Form:                st.Form.String(),
 		Version:             st.Version,
 		Rules:               st.Rules,
+		Engine:              st.Engine.String(),
+		EngineReason:        st.EngineReason,
 		States:              st.States,
 		Complete:            st.Complete,
 		Initial:             st.Initial,
@@ -248,7 +294,13 @@ func infoOf(st registry.Stats) EntryInfo {
 		AdmissionRejected:   st.AdmissionRejected,
 		MaxConcurrentParses: st.Limits.MaxConcurrentParses,
 		MaxForestNodes:      st.Limits.MaxForestNodes,
+		RatePerSec:          st.Limits.RatePerSec,
+		RateBurst:           st.Limits.Burst,
 	}
+	if st.Requested == engine.KindAuto {
+		info.EngineRequested = st.Requested.String()
+	}
+	return info
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -268,6 +320,10 @@ type RegisterRequest struct {
 	Form string `json:"form,omitempty"`
 	// Start picks the start sort of an SDF definition.
 	Start string `json:"start,omitempty"`
+	// Engine selects the parsing backend: "glr", "lalr", "ll", "earley",
+	// or "auto" (probe the grammar and record why). Empty inherits the
+	// service default.
+	Engine string `json:"engine,omitempty"`
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -280,10 +336,16 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	kind, err := engine.ParseKind(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	e, err := s.reg.Register(r.PathValue("name"), registry.Spec{
 		Source:    req.Source,
 		Form:      form,
 		StartSort: req.Start,
+		Engine:    kind,
 	})
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
@@ -389,11 +451,19 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// throttledErr reports the retryable admission-control class: the
+// entry is protecting itself, not rejecting the input.
+func throttledErr(err error) bool {
+	return errors.Is(err, registry.ErrBusy) ||
+		errors.Is(err, registry.ErrForestLimit) ||
+		errors.Is(err, registry.ErrRateLimited)
+}
+
 // parseErrorStatus maps a parse failure to its HTTP status: admission
 // control rejections are 429 (retryable: the entry is protecting
 // itself), everything else is a 422 input problem.
 func (s *Server) parseErrorStatus(err error) int {
-	if errors.Is(err, registry.ErrBusy) || errors.Is(err, registry.ErrForestLimit) {
+	if throttledErr(err) {
 		s.rejected429.Add(1)
 		return http.StatusTooManyRequests
 	}
@@ -473,7 +543,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			for idx := range jobs {
 				out, err := s.parseOne(e, ParseRequest{Input: req.Inputs[idx], Trees: req.Trees})
 				if err != nil {
-					throttled := errors.Is(err, registry.ErrBusy) || errors.Is(err, registry.ErrForestLimit)
+					throttled := throttledErr(err)
 					if throttled {
 						s.rejected429.Add(1)
 					}
@@ -544,7 +614,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	fail := func(err error) {
 		resp.Error = err.Error()
 		resp.Version = e.Version()
-		resp.Invalidated = e.Generator().Counters().StatesInvalidated
+		resp.Invalidated = e.Counters().StatesInvalidated
 		writeJSON(w, http.StatusUnprocessableEntity, resp)
 	}
 	if req.Delete != "" {
@@ -564,7 +634,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Version = e.Version()
-	resp.Invalidated = e.Generator().Counters().StatesInvalidated
+	resp.Invalidated = e.Counters().StatesInvalidated
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -592,7 +662,10 @@ type SnapshotAllResponse struct {
 func (s *Server) handleSnapshotOne(w http.ResponseWriter, r *http.Request) {
 	meta, err := s.reg.SnapshotEntry(r.PathValue("name"))
 	switch {
-	case errors.Is(err, registry.ErrNoStore):
+	case errors.Is(err, registry.ErrNoStore), errors.Is(err, registry.ErrNotSnapshottable):
+		// Both are configuration/capability conflicts, not input errors:
+		// no store mounted, or the entry's engine keeps no persistable
+		// table (only lazy GLR does).
 		writeError(w, http.StatusConflict, err)
 		return
 	case errors.Is(err, registry.ErrUnknownGrammar):

@@ -24,6 +24,7 @@ package snapshot
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -70,9 +71,14 @@ type Meta struct {
 	// CreatedUnix is the snapshot time (seconds).
 	CreatedUnix int64 `json:"created_unix"`
 	// PayloadLen and PayloadSHA256 guard the payload against truncation
-	// and corruption.
+	// and corruption. Both describe the stored (possibly compressed)
+	// bytes, so integrity is checked before any decompression runs.
 	PayloadLen    int    `json:"payload_len"`
 	PayloadSHA256 string `json:"payload_sha256"`
+	// Encoding is how the stored payload bytes are wrapped: "" for raw,
+	// "gzip" for a gzip-compressed table. Decode resolves it
+	// transparently — Snapshot.Payload is always the raw table.
+	Encoding string `json:"encoding,omitempty"`
 	// States/Complete describe the table at snapshot time (for stats).
 	States   int `json:"states"`
 	Complete int `json:"complete"`
@@ -119,11 +125,29 @@ func Hash(g *grammar.Grammar) string {
 
 // Encode writes the envelope: magic, header line, payload. The header's
 // integrity fields are computed here, so callers only fill the
-// descriptive ones.
+// descriptive ones. Setting snap.Encoding to "gzip" compresses the
+// payload on the way out (snap.Payload itself stays the raw table);
+// Decode undoes it transparently.
 func Encode(w io.Writer, snap *Snapshot) error {
 	m := snap.Meta
-	m.PayloadLen = len(snap.Payload)
-	sum := sha256.Sum256(snap.Payload)
+	stored := snap.Payload
+	switch m.Encoding {
+	case "":
+	case "gzip":
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(snap.Payload); err != nil {
+			return fmt.Errorf("snapshot: gzip: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("snapshot: gzip: %w", err)
+		}
+		stored = buf.Bytes()
+	default:
+		return fmt.Errorf("snapshot: unknown payload encoding %q", m.Encoding)
+	}
+	m.PayloadLen = len(stored)
+	sum := sha256.Sum256(stored)
 	m.PayloadSHA256 = hex.EncodeToString(sum[:])
 	header, err := json.Marshal(m)
 	if err != nil {
@@ -133,7 +157,7 @@ func Encode(w io.Writer, snap *Snapshot) error {
 	fmt.Fprintln(bw, magic)
 	bw.Write(header)
 	bw.WriteByte('\n')
-	bw.Write(snap.Payload)
+	bw.Write(stored)
 	return bw.Flush()
 }
 
@@ -165,6 +189,25 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	if hex.EncodeToString(sum[:]) != m.PayloadSHA256 {
 		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
 	}
+	// Integrity holds for the stored bytes; only now undo the encoding.
+	switch m.Encoding {
+	case "":
+	case "gzip":
+		zr, err := gzip.NewReader(bytes.NewReader(payload))
+		if err != nil {
+			return nil, fmt.Errorf("%w: gzip header: %v", ErrCorrupt, err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: gzip payload: %v", ErrCorrupt, err)
+		}
+		payload = raw
+	default:
+		return nil, fmt.Errorf("%w: unknown payload encoding %q", ErrCorrupt, m.Encoding)
+	}
 	return &Snapshot{Meta: m, Payload: payload}, nil
 }
 
@@ -173,7 +216,16 @@ func Decode(r io.Reader) (*Snapshot, error) {
 // goroutines (atomic rename is the only mutation).
 type Store struct {
 	dir string
+	// gzip compresses payloads written by Save (SetGzip). Loading is
+	// always transparent: the envelope's encoding flag decides.
+	gzip bool
 }
+
+// SetGzip makes Save gzip-compress table payloads. Reads stay
+// transparent either way (the envelope records the encoding), so a
+// directory may mix compressed and raw snapshots freely — e.g. after
+// toggling the flag across restarts. Call before serving traffic.
+func (st *Store) SetGzip(on bool) { st.gzip = on }
 
 // NewStore opens (creating if needed) a snapshot directory.
 func NewStore(dir string) (*Store, error) {
@@ -202,6 +254,13 @@ func (st *Store) Path(name string) string {
 // fsync, rename over the previous file. A crash at any point leaves
 // either the old snapshot or the new one — never a torn file.
 func (st *Store) Save(snap *Snapshot) error {
+	if st.gzip && snap.Encoding == "" {
+		// Don't mutate the caller's snapshot; the encoding is a property
+		// of this store's files, not of the table.
+		compressed := *snap
+		compressed.Encoding = "gzip"
+		snap = &compressed
+	}
 	tmp, err := os.CreateTemp(st.dir, ".tmp-*"+fileExt)
 	if err != nil {
 		return fmt.Errorf("snapshot: save %q: %w", snap.Name, err)
@@ -248,6 +307,36 @@ func (st *Store) Load(name string) (*Snapshot, error) {
 // Remove deletes the snapshot for name, reporting whether one existed.
 func (st *Store) Remove(name string) bool {
 	return os.Remove(st.Path(name)) == nil
+}
+
+// GC compacts the directory: every snapshot file whose grammar name is
+// not in keep is removed, and the removed names are returned. Long-lived
+// directories otherwise accumulate envelopes for grammars that were
+// unregistered, renamed, or belonged to departed tenants. Foreign files
+// (wrong extension, temp files, undecodable names) are never touched.
+func (st *Store) GC(keep []string) (removed []string, err error) {
+	names, err := st.List()
+	if err != nil {
+		return nil, err
+	}
+	keepSet := make(map[string]bool, len(keep))
+	for _, name := range keep {
+		keepSet[name] = true
+	}
+	for _, name := range names {
+		if keepSet[name] {
+			continue
+		}
+		if rmErr := os.Remove(st.Path(name)); rmErr != nil && !errors.Is(rmErr, fs.ErrNotExist) {
+			// Keep sweeping; report the first failure at the end.
+			if err == nil {
+				err = fmt.Errorf("snapshot: gc %q: %w", name, rmErr)
+			}
+			continue
+		}
+		removed = append(removed, name)
+	}
+	return removed, err
 }
 
 // List returns the names with a snapshot file, sorted.

@@ -183,3 +183,127 @@ func TestCorruptFileOnDisk(t *testing.T) {
 		t.Errorf("truncated file: want ErrCorrupt, got %v", err)
 	}
 }
+
+func TestGzipEncodingRoundTrip(t *testing.T) {
+	// A compressible payload so the size win is observable.
+	payload := strings.Repeat("state 12 shift 34 reduce 56\n", 512)
+	snap := testSnap("calc", payload)
+	snap.Encoding = "gzip"
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= len(payload) {
+		t.Errorf("gzip envelope is %d bytes for a %d-byte payload", buf.Len(), len(payload))
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Encoding != "gzip" {
+		t.Errorf("Encoding = %q, want gzip", got.Encoding)
+	}
+	if string(got.Payload) != payload {
+		t.Error("gzip round trip mangled the payload")
+	}
+	// The caller's snapshot stays raw.
+	if string(snap.Payload) != payload {
+		t.Error("Encode mutated the caller's payload")
+	}
+}
+
+func TestStoreGzipTransparentLoad(t *testing.T) {
+	dir := t.TempDir()
+	stRaw, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stGz, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stGz.SetGzip(true)
+
+	payload := strings.Repeat("transition 7 -> 9 on EXP\n", 256)
+	if err := stRaw.Save(testSnap("raw", payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := stGz.Save(testSnap("gz", payload)); err != nil {
+		t.Fatal(err)
+	}
+
+	rawInfo, err := os.Stat(stRaw.Path("raw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzInfo, err := os.Stat(stGz.Path("gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gzInfo.Size() >= rawInfo.Size() {
+		t.Errorf("gzip file %d bytes >= raw file %d bytes", gzInfo.Size(), rawInfo.Size())
+	}
+
+	// A mixed directory loads transparently through either store.
+	for _, name := range []string{"raw", "gz"} {
+		got, err := stRaw.Load(name)
+		if err != nil {
+			t.Fatalf("Load(%q): %v", name, err)
+		}
+		if string(got.Payload) != payload {
+			t.Errorf("Load(%q) mangled the payload", name)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownEncoding(t *testing.T) {
+	snap := testSnap("calc", "payload")
+	snap.Encoding = "zstd"
+	var buf bytes.Buffer
+	if err := Encode(&buf, snap); err == nil {
+		t.Fatal("Encode accepted an unknown encoding")
+	}
+}
+
+func TestStoreGC(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "tenant/c"} {
+		if err := st.Save(testSnap(name, "payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Foreign files must survive the sweep.
+	foreign := filepath.Join(dir, "notes.txt")
+	if err := os.WriteFile(foreign, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := st.GC([]string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("GC removed %v, want b and tenant/c", removed)
+	}
+	names, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "a" {
+		t.Fatalf("store holds %v after GC, want [a]", names)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Errorf("GC touched a foreign file: %v", err)
+	}
+
+	// GC with everything kept is a no-op.
+	removed, err = st.GC([]string{"a"})
+	if err != nil || len(removed) != 0 {
+		t.Fatalf("idempotent GC removed %v, err %v", removed, err)
+	}
+}

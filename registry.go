@@ -2,6 +2,7 @@ package ipg
 
 import (
 	"ipg/internal/core"
+	"ipg/internal/engine"
 	"ipg/internal/registry"
 )
 
@@ -25,6 +26,11 @@ type RegistryEntry = registry.Entry
 // GrammarSpec describes a grammar to register (BNF rules or SDF).
 type GrammarSpec = registry.Spec
 
+// RegistryResult is the outcome of one parse through a registry entry:
+// the engine result plus derivation counting and (for SDF entries) the
+// disambiguation filters already applied.
+type RegistryResult = registry.Result
+
 // GrammarForm selects how a GrammarSpec source is read.
 type GrammarForm = registry.Form
 
@@ -42,6 +48,51 @@ const (
 	// FormSDF is an SDF definition.
 	FormSDF = registry.FormSDF
 )
+
+// EngineKind selects a registry entry's parsing backend (GrammarSpec's
+// Engine field): the paper's lazy incremental GLR, the Yacc-style
+// LALR(1) baseline, LL(1) predictive parsing, table-free Earley, or
+// auto-selection, which probes the grammar and records why. Not to be
+// confused with Engine (Copying/GSS/Deterministic), which picks the
+// parse algorithm *within* the LR family for a Parser.
+type EngineKind = engine.Kind
+
+// Parsing backends for registry entries.
+const (
+	// EngineDefault inherits the registry default (lazy GLR unless
+	// Registry.SetDefaultEngine says otherwise).
+	EngineDefault = engine.KindDefault
+	// EngineGLR is the paper's IPG: lazy incremental LR(0) + GSS. The
+	// only backend with incremental rule updates and table snapshots.
+	EngineGLR = engine.KindGLR
+	// EngineLALR is the eagerly generated LALR(1) baseline; fastest on
+	// deterministic grammars, full regeneration on modification.
+	EngineLALR = engine.KindLALR
+	// EngineLL is LL(1) predictive parsing; rejects non-LL(1) grammars.
+	EngineLL = engine.KindLL
+	// EngineEarley is table-free Earley parsing: accepts everything,
+	// recognizes only, slowest per token.
+	EngineEarley = engine.KindEarley
+	// EngineAuto probes the grammar (conflict-free ⇒ LALR(1); LL(1)-able
+	// ⇒ LL; else lazy GLR) and records the reason.
+	EngineAuto = engine.KindAuto
+)
+
+// EngineCaps describes a backend's capabilities (trees, ambiguity,
+// incrementality, laziness, snapshots).
+type EngineCaps = engine.Caps
+
+// ParseEngineName reads an engine name ("glr", "lalr", "ll", "earley",
+// "auto"; "" = default) — the vocabulary of the cmds' -engine flags and
+// the serve API's "engine" field.
+func ParseEngineName(s string) (EngineKind, error) { return engine.ParseKind(s) }
+
+// EngineCapsOf returns the capability matrix row for a backend.
+func EngineCapsOf(k EngineKind) EngineCaps { return engine.CapsOf(k) }
+
+// ProbeEngine reports which backend auto-selection would pick for g and
+// why, without building a parser.
+func ProbeEngine(g *Grammar) (EngineKind, string) { return engine.Probe(g) }
 
 // ParseCounters is a snapshot of a generator's concurrent work counters
 // (states expanded/invalidated, action cache hit rate, parses served).
