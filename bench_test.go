@@ -604,6 +604,7 @@ func BenchmarkConcurrentParse(b *testing.B) {
 	}
 
 	b.Run("sequential-warm", func(b *testing.B) {
+		b.ReportAllocs()
 		gen := core.New(sdf.MustBootstrapGrammar(), nil)
 		parseOnce(b, gen)
 		b.ResetTimer()
@@ -612,6 +613,7 @@ func BenchmarkConcurrentParse(b *testing.B) {
 		}
 	})
 	b.Run("parallel-warm", func(b *testing.B) {
+		b.ReportAllocs()
 		gen := core.New(sdf.MustBootstrapGrammar(), nil)
 		parseOnce(b, gen)
 		b.ResetTimer()
@@ -622,6 +624,7 @@ func BenchmarkConcurrentParse(b *testing.B) {
 		})
 	})
 	b.Run("sequential-cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			gen := core.New(sdf.MustBootstrapGrammar(), nil)
@@ -630,6 +633,7 @@ func BenchmarkConcurrentParse(b *testing.B) {
 		}
 	})
 	b.Run("shared-cold", func(b *testing.B) {
+		b.ReportAllocs()
 		// Eight goroutines race one cold table per iteration; the
 		// double-checked expansion path is on the critical path, but the
 		// expansion work is paid once and shared.
@@ -649,6 +653,7 @@ func BenchmarkConcurrentParse(b *testing.B) {
 		}
 	})
 	b.Run("private-cold", func(b *testing.B) {
+		b.ReportAllocs()
 		// The no-sharing baseline: eight goroutines each expand their own
 		// table. Even on one core the shared variant wins, because
 		// expansion happens once instead of eight times.

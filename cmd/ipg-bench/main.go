@@ -7,23 +7,28 @@
 // workloads (deterministic calculator, its LL(1) factoring, the SDF
 // bootstrap inputs) through every backend of internal/engine — lazy
 // GLR, LALR(1), LL(1), Earley and auto — measuring construct time,
-// cold (lazy warm-up) and steady-state parse passes. -json writes the
-// machine-readable results (the perf-trajectory artifact CI uploads as
-// BENCH_pr3.json).
+// cold (lazy warm-up) and steady-state parse passes, allocations and
+// bytes per steady pass, and per-sentence latency percentiles
+// (p50/p95/p99). -json writes the machine-readable results (the
+// perf-trajectory artifact CI uploads, e.g. BENCH_pr4.json, which the
+// allocation-regression gate in internal/engine compares against).
 //
 // Usage:
 //
 //	ipg-bench [-testdata dir] [-repeat n]
-//	ipg-bench -engines [-json BENCH_pr3.json]
+//	ipg-bench -engines [-json BENCH_pr4.json]
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"ipg/internal/harness"
@@ -35,10 +40,12 @@ func main() {
 	repeat := flag.Int("repeat", 5, "repetitions per cell (minimum is kept)")
 	engines := flag.Bool("engines", false, "run the cross-engine comparison instead of Fig 7.1")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (-engines mode)")
+	baseline := flag.String("baseline", "", "embed a prior -json report under \"baseline\" for before/after comparison (-engines mode)")
+	goBench := flag.String("gobench", "", "embed parsed `go test -bench -benchmem` output under \"go_bench\" (-engines mode)")
 	flag.Parse()
 
 	if *engines {
-		runEngines(*dir, *repeat, *jsonPath)
+		runEngines(*dir, *repeat, *jsonPath, *baseline, *goBench)
 		return
 	}
 
@@ -79,9 +86,61 @@ type engineReport struct {
 	Arch    string                 `json:"arch"`
 	Repeat  int                    `json:"repeat"`
 	Results []harness.EngineResult `json:"results"`
+	// GoBench carries parsed `go test -bench -benchmem` rows (-gobench),
+	// so the repo-level benchmarks (BenchmarkConcurrentParse,
+	// BenchmarkEngines) ride in the same perf-trajectory artifact.
+	GoBench []goBenchRow `json:"go_bench,omitempty"`
+	// Baseline embeds the previous report (-baseline) for direct
+	// before/after reading.
+	Baseline json.RawMessage `json:"baseline,omitempty"`
 }
 
-func runEngines(dir string, repeat int, jsonPath string) {
+// goBenchRow is one parsed benchmark line.
+type goBenchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// parseGoBench reads `go test -bench -benchmem` output: lines of the
+// form "BenchmarkX/sub-8  1234  5678 ns/op  91 B/op  2 allocs/op ...".
+func parseGoBench(path string) ([]goBenchRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows []goBenchRow
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		row := goBenchRow{Name: fields[0]}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				row.NsPerOp = v
+			case "B/op":
+				row.BytesPerOp = int64(v)
+			case "allocs/op":
+				row.AllocsPerOp = int64(v)
+			}
+		}
+		if row.NsPerOp > 0 {
+			rows = append(rows, row)
+		}
+	}
+	return rows, sc.Err()
+}
+
+func runEngines(dir string, repeat int, jsonPath, baselinePath, goBenchPath string) {
 	workloads, err := harness.EngineWorkloads(dir)
 	if err != nil {
 		log.Fatal(err)
@@ -89,13 +148,15 @@ func runEngines(dir string, repeat int, jsonPath string) {
 	results := harness.RunEngines(workloads, repeat)
 
 	fmt.Println("Cross-engine comparison — construct / cold parse / steady parse (best of", repeat, "runs)")
+	fmt.Println("(allocs and bytes per steady pass; p50/p95/p99 per-sentence latency)")
 	fmt.Println()
 	current := ""
 	for _, r := range results {
 		if r.Workload != current {
 			current = r.Workload
 			fmt.Printf("%s (%d sentences, %d tokens)\n", r.Workload, r.Sentences, r.Tokens)
-			fmt.Printf("  %-8s %12s %12s %12s %14s\n", "", "construct", "cold", "steady", "tokens/s")
+			fmt.Printf("  %-8s %12s %12s %12s %14s %10s %10s %10s %10s %10s\n",
+				"", "construct", "cold", "steady", "tokens/s", "allocs/op", "B/op", "p50", "p95", "p99")
 		}
 		if r.Error != "" {
 			fmt.Printf("  %-8s %s\n", r.Engine, r.Error)
@@ -105,11 +166,15 @@ func runEngines(dir string, repeat int, jsonPath string) {
 		if r.Selected != "" {
 			name = fmt.Sprintf("%s→%s", r.Engine, r.Selected)
 		}
-		fmt.Printf("  %-8s %12s %12s %12s %14.0f\n", name,
+		fmt.Printf("  %-8s %12s %12s %12s %14.0f %10d %10d %10s %10s %10s\n", name,
 			fmtDur(time.Duration(r.ConstructNS)),
 			fmtDur(time.Duration(r.WarmParseNS)),
 			fmtDur(time.Duration(r.ParseNS)),
-			r.TokensPerSec)
+			r.TokensPerSec,
+			r.AllocsPerOp, r.BytesPerOp,
+			fmtDur(time.Duration(r.P50NS)),
+			fmtDur(time.Duration(r.P95NS)),
+			fmtDur(time.Duration(r.P99NS)))
 		if r.Reason != "" {
 			fmt.Printf("  %-8s   %s\n", "", r.Reason)
 		}
@@ -121,6 +186,20 @@ func runEngines(dir string, repeat int, jsonPath string) {
 	report := engineReport{
 		Bench: "engines", Go: runtime.Version(), Arch: runtime.GOARCH,
 		Repeat: repeat, Results: results,
+	}
+	if goBenchPath != "" {
+		rows, err := parseGoBench(goBenchPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.GoBench = rows
+	}
+	if baselinePath != "" {
+		prior, err := os.ReadFile(baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Baseline = json.RawMessage(prior)
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

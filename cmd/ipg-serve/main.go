@@ -9,6 +9,7 @@
 //	ipg-serve [-addr :8080] [-grammar name=path ...] [-engine auto]
 //	          [-snapshot-dir dir] [-snapshot-interval 5m] [-snapshot-gzip]
 //	          [-max-parses n] [-max-forest-nodes n] [-rate r] [-burst n]
+//	          [-pprof]
 //
 // Each -grammar flag preloads a grammar file at startup (.sdf files load
 // as SDF definitions, anything else as plain BNF). -engine picks the
@@ -27,6 +28,8 @@
 // (loading stays transparent either way).
 // -max-parses, -max-forest-nodes, -rate and -burst set per-grammar
 // admission control so a warm, heavily loaded service stays protected.
+// -pprof exposes the net/http/pprof endpoints under /debug/pprof/ so
+// production hot spots stay observable (off by default).
 // Example session:
 //
 //	ipg-serve -grammar calc=testdata/Calc.sdf -snapshot-dir /var/lib/ipg &
@@ -43,6 +46,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -82,6 +86,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-grammar sustained parse requests per second; excess gets 429 (0 = unthrottled)")
 	burst := flag.Int("burst", 0, "per-grammar request burst on top of -rate (0 = max(1, rate))")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatchInputs, "max sentences per batch request")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (CPU, heap, contention)")
 	flag.Parse()
 
 	kind, err := engine.ParseKind(*engineName)
@@ -132,9 +137,25 @@ func main() {
 
 	front := serve.New(reg)
 	front.SetMaxBatchInputs(*maxBatch)
+	handler := front.Handler()
+	if *pprofOn {
+		// Mount the pprof handlers explicitly (not via the DefaultServeMux
+		// side effect), so only -pprof exposes them: production hot spots
+		// stay observable with `go tool pprof host:port/debug/pprof/profile`
+		// without profiling being open by default.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof enabled under /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           front.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"ipg/internal/fixtures"
+	"ipg/internal/lr"
+)
+
+// TestPublishedActionsAllocFree pins the published-state ACTION path:
+// once a state is expanded, looking up its actions through the
+// append-style API is one atomic load plus appends into the caller's
+// buffer — no heap allocation, no lock.
+func TestPublishedActionsAllocFree(t *testing.T) {
+	g := fixtures.Booleans()
+	gen := New(g, nil)
+	tr, _ := g.Symbols().Lookup("true")
+	start := gen.Start()
+	gen.Actions(start, tr) // expand + publish the start state
+	if !start.Published() {
+		t.Fatal("start state not published after Actions")
+	}
+	buf := make([]lr.Action, 0, 8)
+	avg := testing.AllocsPerRun(200, func() {
+		buf = gen.AppendActions(buf[:0], start, tr)
+		if len(buf) == 0 {
+			t.Fatal("no actions on published state")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("published-path AppendActions allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestParseSessionAllocFree pins the batched-counter session: bracketing
+// a parse and driving the table through it must not allocate, so pooled
+// sessions give an allocation-free service hot path.
+func TestParseSessionAllocFree(t *testing.T) {
+	g := fixtures.Booleans()
+	gen := New(g, nil)
+	tr, _ := g.Symbols().Lookup("true")
+	gen.Actions(gen.Start(), tr)
+	var sess ParseSession
+	buf := make([]lr.Action, 0, 8)
+	avg := testing.AllocsPerRun(200, func() {
+		sess.Begin(gen)
+		buf = sess.AppendActions(buf[:0], gen.Start(), tr)
+		sess.End()
+	})
+	if avg != 0 {
+		t.Errorf("ParseSession parse bracket allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestParseSessionCounters checks the flush: local counts surface in the
+// generator's shared counters exactly once, at End.
+func TestParseSessionCounters(t *testing.T) {
+	g := fixtures.Booleans()
+	gen := New(g, nil)
+	tr, _ := g.Symbols().Lookup("true")
+	var sess ParseSession
+	sess.Begin(gen)
+	var buf []lr.Action
+	buf = sess.AppendActions(buf, gen.Start(), tr)
+	_ = buf
+	mid := gen.Counters()
+	if mid.ActionCalls != 0 || mid.ParsesServed != 0 {
+		t.Fatalf("counters flushed early: %+v", mid)
+	}
+	sess.End()
+	after := gen.Counters()
+	if after.ActionCalls != 1 || after.ParsesServed != 1 {
+		t.Fatalf("counters after End: %+v, want 1 action call and 1 parse", after)
+	}
+	// The first call expanded the state, so it cannot be a cache hit;
+	// a second session over the published state must count one hit.
+	sess.Begin(gen)
+	buf = sess.AppendActions(buf[:0], gen.Start(), tr)
+	sess.End()
+	final := gen.Counters()
+	if final.CacheHits != 1 || final.ActionCalls != 2 {
+		t.Fatalf("counters after warm session: %+v, want 2 calls / 1 hit", final)
+	}
+}

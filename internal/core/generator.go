@@ -208,6 +208,20 @@ func (gen *Generator) Actions(s *lr.State, sym grammar.Symbol) []lr.Action {
 	return lr.ActionsOf(s, sym)
 }
 
+// AppendActions implements lr.Table: Actions into a caller-supplied
+// buffer. The published-state path is one atomic load plus the two
+// counter increments; ParseSession additionally batches the counters,
+// leaving a single atomic load per call.
+func (gen *Generator) AppendActions(dst []lr.Action, s *lr.State, sym grammar.Symbol) []lr.Action {
+	gen.actionCalls.Add(1)
+	if s.Published() {
+		gen.cacheHits.Add(1)
+	} else {
+		gen.expandSlow(s)
+	}
+	return lr.AppendActionsOf(dst, s, sym)
+}
+
 // expandSlow is the cold half of Actions: it serializes racing parses on
 // the expansion mutex and re-checks the publication flag, so the parse
 // that loses the race reuses the winner's expansion.

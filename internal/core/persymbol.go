@@ -108,19 +108,24 @@ func (gen *PerSymbolGenerator) expandSymbol(s *lr.State, sym grammar.Symbol) {
 
 // Actions implements lr.Table with symbol-granular laziness.
 func (gen *PerSymbolGenerator) Actions(s *lr.State, sym grammar.Symbol) []lr.Action {
+	return gen.AppendActions(make([]lr.Action, 0, 2), s, sym)
+}
+
+// AppendActions implements lr.Table: Actions into a caller-supplied
+// buffer.
+func (gen *PerSymbolGenerator) AppendActions(dst []lr.Action, s *lr.State, sym grammar.Symbol) []lr.Action {
 	p := gen.ensureClosure(s)
 	gen.expandSymbol(s, sym)
-	actions := make([]lr.Action, 0, len(p.reductions)+1)
 	for _, r := range p.reductions {
-		actions = append(actions, lr.Action{Kind: lr.Reduce, Rule: r})
+		dst = append(dst, lr.Action{Kind: lr.Reduce, Rule: r})
 	}
 	if succ, ok := s.Transitions[sym]; ok {
-		actions = append(actions, lr.Action{Kind: lr.Shift, State: succ})
+		dst = append(dst, lr.Action{Kind: lr.Shift, State: succ})
 	}
 	if sym == grammar.EOF && p.accept {
-		actions = append(actions, lr.Action{Kind: lr.Accept})
+		dst = append(dst, lr.Action{Kind: lr.Accept})
 	}
-	return actions
+	return dst
 }
 
 // Goto implements lr.Table. Unlike the state-at-a-time generator, GOTO

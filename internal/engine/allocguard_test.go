@@ -1,0 +1,69 @@
+// The allocation-regression gate: CI fails when a steady-state pass of
+// any engine workload allocates more than twice what the committed
+// BENCH_pr4.json baseline records. ns/op regressions are machine-
+// dependent and belong to human review of the uploaded bench artifact;
+// allocs/op is deterministic enough to gate on.
+package engine_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"ipg/internal/harness"
+)
+
+// benchBaseline mirrors the committed report envelope (only the fields
+// the gate needs).
+type benchBaseline struct {
+	Results []harness.EngineResult `json:"results"`
+}
+
+func TestAllocRegressionGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard runs full workload passes; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation makes sync.Pool lossy; allocation counts are meaningless under -race")
+	}
+	buf, err := os.ReadFile("../../BENCH_pr4.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		t.Fatalf("BENCH_pr4.json: %v", err)
+	}
+	baseline := map[[2]string]int64{}
+	for _, r := range base.Results {
+		if r.Error == "" {
+			baseline[[2]string{r.Workload, r.Engine}] = r.AllocsPerOp
+		}
+	}
+	if len(baseline) == 0 {
+		t.Fatal("BENCH_pr4.json holds no usable baselines")
+	}
+
+	workloads, err := harness.EngineWorkloads("../../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := harness.RunEngines(workloads, 2)
+	checked := 0
+	for _, r := range live {
+		want, ok := baseline[[2]string{r.Workload, r.Engine}]
+		if !ok || r.Error != "" {
+			continue
+		}
+		checked++
+		// >2× the committed allocs/op plus a small absolute buffer for
+		// background-GC noise in the Mallocs delta.
+		if limit := 2*want + 8; r.AllocsPerOp > limit {
+			t.Errorf("%s/%s: %d allocs per steady pass, committed baseline %d (limit %d) — hot-path allocation regression",
+				r.Workload, r.Engine, r.AllocsPerOp, want, limit)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no (workload, engine) pair matched the committed baseline")
+	}
+}

@@ -20,16 +20,27 @@ import (
 //   - lazy GLR otherwise — ambiguous or conflicted grammars keep the
 //     paper's machinery, including incremental updates and snapshots.
 //
-// After every rule update the grammar is re-probed: a modification can
+// After a rule update the grammar is re-probed: a modification can
 // move a grammar across the determinism boundary in either direction,
 // and the engine follows it (an already-warm lazy GLR table is kept when
-// the verdict does not change).
+// the verdict does not change). Re-probing is deferred and cached: a
+// batch of k rule updates pays one probe (on the next engine use), not
+// k, and the probe's verdict — including the LALR table it built — is
+// stamped with the grammar version so a same-version reselection never
+// regenerates anything.
 type Auto struct {
 	opts Options
 
 	mu  sync.RWMutex
 	g   *grammar.Grammar
 	cur Engine
+	// reprobe marks that rule updates have outdated the selection; the
+	// next access re-probes once for the whole batch.
+	reprobe bool
+	// probeVersion is the grammar version the current selection was
+	// probed at; a reselection at the same version is a no-op (same
+	// grammar ⇒ same verdict ⇒ same table).
+	probeVersion uint64
 	// retired accumulates the counters of replaced backends, so the
 	// entry's counters stay monotonic across reselections (a rule
 	// update must not reset parses_served to zero).
@@ -43,6 +54,7 @@ func NewAuto(g *grammar.Grammar, opts *Options) *Auto {
 		a.opts = *opts
 	}
 	a.cur = probe(g, &a.opts)
+	a.probeVersion = g.Version()
 	return a
 }
 
@@ -55,8 +67,9 @@ func Probe(g *grammar.Grammar) (Kind, string) {
 
 // probe runs the selection: conflict-free ⇒ LALR(1); LL(1)-able ⇒ LL;
 // else lazy GLR. The LALR table built for conflict counting is adopted
-// by the LALR engine when it wins, so the probe is never wasted work on
-// the path that needs it.
+// by the LALR engine when it wins (and the LL prediction table by the
+// LL engine), so the probe is never wasted work on the path that needs
+// it.
 func probe(g *grammar.Grammar, opts *Options) Engine {
 	tbl := lalr.Generate(g)
 	if len(tbl.Conflicts()) == 0 {
@@ -75,10 +88,22 @@ func probe(g *grammar.Grammar, opts *Options) Engine {
 	return NewGLR(g, opts, reason)
 }
 
-// current returns the selected backend.
+// current returns the selected backend, re-probing first when rule
+// updates have outdated the selection.
 func (a *Auto) current() Engine {
 	a.mu.RLock()
-	defer a.mu.RUnlock()
+	if !a.reprobe {
+		cur := a.cur
+		a.mu.RUnlock()
+		return cur
+	}
+	a.mu.RUnlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.reprobe {
+		a.reselectLocked()
+		a.reprobe = false
+	}
 	return a.cur
 }
 
@@ -104,6 +129,7 @@ func (a *Auto) Recognize(input []grammar.Symbol) (bool, error) {
 // Counters implements Engine: the live backend's counters plus those
 // accumulated by backends retired at reselection.
 func (a *Auto) Counters() core.Counters {
+	a.current() // settle any pending reselection first
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	return a.cur.Counters().Plus(a.retired)
@@ -143,7 +169,7 @@ func (a *Auto) AddRule(r *grammar.Rule) error {
 			return err
 		}
 	}
-	a.reselectLocked()
+	a.reprobe = true
 	return nil
 }
 
@@ -166,16 +192,24 @@ func (a *Auto) DeleteRule(r *grammar.Rule) error {
 			return err
 		}
 	}
-	a.reselectLocked()
+	a.reprobe = true
 	return nil
 }
 
-// reselectLocked re-probes after a modification. A warm lazy-GLR table
-// survives a GLR→GLR verdict (the incremental splice already updated
-// it); every other verdict adopts the freshly probed engine, whose table
-// reflects the updated grammar, and banks the replaced backend's
-// counters so the entry's totals stay monotonic.
+// reselectLocked re-probes after one or more modifications. The probe
+// is skipped entirely when the grammar version has not moved since the
+// last one (nothing to relearn — and nothing to regenerate: the current
+// backend still holds the table that probe built). A warm lazy-GLR
+// table survives a GLR→GLR verdict (the incremental splice already
+// updated it); every other verdict adopts the freshly probed engine,
+// whose probe-built table reflects the updated grammar, and banks the
+// replaced backend's counters so the entry's totals stay monotonic.
 func (a *Auto) reselectLocked() {
+	if v := a.g.Version(); v == a.probeVersion {
+		return
+	} else {
+		a.probeVersion = v
+	}
 	next := probe(a.g, &a.opts)
 	if _, stayGLR := a.cur.(*GLR); stayGLR && next.Kind() == KindGLR {
 		return

@@ -47,13 +47,29 @@ func (e *GLR) Generator() *core.Generator {
 	return e.gen
 }
 
+// glrScratch is the pooled per-parse scratch of the GLR engine: the
+// generator session (local counters, one shared flush per parse) and the
+// options value the parse is driven with. The GSS workspace itself is
+// pooled inside package glr.
+type glrScratch struct {
+	sess core.ParseSession
+	opts glr.Options
+}
+
+var glrScratchPool = sync.Pool{New: func() any { return new(glrScratch) }}
+
 // Parse implements Engine: one GSS parse under the generator's shared
-// (read) access, expanding table states by need.
+// (read) access, expanding table states by need. Counter traffic is
+// batched per parse through a core.ParseSession, so the published-state
+// hot path performs no shared atomic writes.
 func (e *GLR) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
 	gen := e.Generator()
-	gen.BeginParse()
-	defer gen.EndParse()
-	return glr.Parse(gen, input, &glr.Options{Engine: glr.GSS, DisableTrees: !buildTrees})
+	sc := glrScratchPool.Get().(*glrScratch)
+	defer glrScratchPool.Put(sc)
+	sc.sess.Begin(gen)
+	defer sc.sess.End()
+	sc.opts = glr.Options{Engine: glr.GSS, DisableTrees: !buildTrees}
+	return glr.Parse(&sc.sess, input, &sc.opts)
 }
 
 // Recognize implements Engine.

@@ -1,0 +1,93 @@
+package forest
+
+import (
+	"testing"
+
+	"ipg/internal/grammar"
+)
+
+// The allocation budgets below are regression gates for the zero-alloc
+// steady state: the parser's hot path calls Leaf and Rule once per token
+// and reduction, so a hit on the hash-consing index must not allocate at
+// all, and a miss must amortize through the node arena.
+
+func allocGrammar(t *testing.T) (*grammar.Grammar, *grammar.Rule, grammar.Symbol) {
+	t.Helper()
+	g, err := grammar.Parse(`
+START ::= B
+B ::= "true" | B "or" B
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := g.Symbols().Lookup("true")
+	var rule *grammar.Rule
+	for _, r := range g.Rules() {
+		if r.Len() == 3 {
+			rule = r
+		}
+	}
+	if rule == nil {
+		t.Fatal("no B ::= B or B rule")
+	}
+	return g, rule, tr
+}
+
+func TestLeafHitAllocFree(t *testing.T) {
+	_, _, tr := allocGrammar(t)
+	f := NewForest()
+	f.Leaf(tr, 0) // create the node once
+	avg := testing.AllocsPerRun(200, func() {
+		if f.Leaf(tr, 0) == nil {
+			t.Fatal("nil leaf")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Leaf hit allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestRuleHitAllocFree(t *testing.T) {
+	_, rule, tr := allocGrammar(t)
+	f := NewForest()
+	children := []*Node{f.Leaf(tr, 0), f.Leaf(tr, 1), f.Leaf(tr, 2)}
+	first := f.Rule(rule, children)
+	avg := testing.AllocsPerRun(200, func() {
+		if f.Rule(rule, children) != first {
+			t.Fatal("hash-consing miss")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Rule hit allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestRuleMissAmortized(t *testing.T) {
+	_, rule, tr := allocGrammar(t)
+	f := NewForest()
+	// Pre-touch the arena and index so steady-state growth is measured,
+	// not first-use setup.
+	for i := 0; i < 2*arenaChunk; i++ {
+		f.Leaf(tr, i)
+	}
+	pos := 2 * arenaChunk
+	children := make([]*Node, 3)
+	avg := testing.AllocsPerRun(1000, func() {
+		// Three fresh leaves and one fresh rule node per run: four arena
+		// nodes plus index inserts.
+		children[0] = f.Leaf(tr, pos)
+		children[1] = f.Leaf(tr, pos+1)
+		children[2] = f.Leaf(tr, pos+2)
+		pos += 3
+		if f.Rule(rule, children) == nil {
+			t.Fatal("nil rule node")
+		}
+	})
+	// Four nodes/run at one block allocation per arenaChunk nodes, plus
+	// amortized map growth and child-arena blocks: well under one
+	// allocation per created node. Budget 2 allocs/run (the old
+	// string-keyed scheme spent 3+ on keys alone).
+	if avg > 2 {
+		t.Errorf("Rule/Leaf miss path allocates %.2f allocs/op, budget 2", avg)
+	}
+}

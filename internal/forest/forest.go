@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strconv"
 	"strings"
 
 	"ipg/internal/grammar"
@@ -63,6 +62,9 @@ type Node struct {
 	children []*Node
 	// alts of an ambiguity node, all with the same sym.
 	alts []*Node
+	// hashNext chains hash-consed rule nodes that share an interning
+	// hash bucket (see Forest.Rule).
+	hashNext *Node
 }
 
 // ID returns a unique (per Forest) node number.
@@ -91,10 +93,27 @@ func (n *Node) Alts() []*Node { return n.alts }
 
 // Forest hash-conses leaf and rule nodes and creates ambiguity nodes. The
 // zero value is not usable; use NewForest.
+//
+// Node storage is a chunked arena: nodes are carved out of fixed-size
+// blocks instead of being allocated one by one, so the parser's hot path
+// (Leaf/Rule per token and reduction) does amortized-constant heap work.
+// Interned rule nodes are deduplicated through a hash chain keyed by the
+// rule's value identity and the child node identities — no string key is
+// built per call (the dominant steady-state allocation before this
+// scheme).
 type Forest struct {
 	nodes   int
 	leafIdx map[leafKey]*Node
-	ruleIdx map[string]*Node
+	// ruleIdx maps an interning hash to a chain of rule nodes linked
+	// through Node.hashNext; ruleEq resolves collisions exactly.
+	ruleIdx map[uint64]*Node
+
+	// chunk is the current node arena block; when full a new block is
+	// started (live nodes keep earlier blocks reachable).
+	chunk []Node
+	// childArena backs the children slices of rule nodes; carved
+	// slices are capacity-capped so later carving cannot alias them.
+	childArena []*Node
 }
 
 type leafKey struct {
@@ -102,11 +121,15 @@ type leafKey struct {
 	pos int
 }
 
+// arenaChunk is the node-arena block size. Forests of a few nodes pay
+// one small block; big forests amortize one allocation per block.
+const arenaChunk = 256
+
 // NewForest returns an empty forest.
 func NewForest() *Forest {
 	return &Forest{
 		leafIdx: make(map[leafKey]*Node),
-		ruleIdx: make(map[string]*Node),
+		ruleIdx: make(map[uint64]*Node),
 	}
 }
 
@@ -115,9 +138,35 @@ func NewForest() *Forest {
 func (f *Forest) NodeCount() int { return f.nodes }
 
 func (f *Forest) newNode(k Kind) *Node {
-	n := &Node{id: f.nodes, kind: k}
+	if len(f.chunk) == cap(f.chunk) {
+		f.chunk = make([]Node, 0, arenaChunk)
+	}
+	f.chunk = f.chunk[:len(f.chunk)+1]
+	n := &f.chunk[len(f.chunk)-1]
+	n.id = f.nodes
+	n.kind = k
 	f.nodes++
 	return n
+}
+
+// copyChildren persists a caller-owned children slice into the forest's
+// child arena. The returned slice is capacity-capped at its length, so
+// appends through it can never scribble over later carvings.
+func (f *Forest) copyChildren(children []*Node) []*Node {
+	n := len(children)
+	if n == 0 {
+		return nil
+	}
+	if cap(f.childArena)-len(f.childArena) < n {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		f.childArena = make([]*Node, 0, size)
+	}
+	start := len(f.childArena)
+	f.childArena = append(f.childArena, children...)
+	return f.childArena[start : start+n : start+n]
 }
 
 // Leaf returns the (shared) leaf node for terminal sym at token index pos.
@@ -133,27 +182,63 @@ func (f *Forest) Leaf(sym grammar.Symbol, pos int) *Node {
 	return n
 }
 
+// ruleHash mixes the rule's value identity and the child node IDs into
+// the interning hash (FNV-1a).
+func ruleHash(r *grammar.Rule, children []*Node) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	key := r.Key()
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime64
+	}
+	for _, c := range children {
+		id := uint64(c.id)
+		h = (h ^ (id & 0xff)) * prime64
+		h = (h ^ (id >> 8)) * prime64
+	}
+	return h
+}
+
+// ruleEq reports whether interned rule node n is exactly the application
+// of r to children. Rules compare by value identity (Key), children by
+// node identity — the same equivalence the old string key encoded.
+func ruleEq(n *Node, r *grammar.Rule, children []*Node) bool {
+	if len(n.children) != len(children) {
+		return false
+	}
+	if n.rule != r && n.rule.Key() != r.Key() {
+		return false
+	}
+	for i, c := range children {
+		if n.children[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
 // Rule returns the (shared) rule node applying r to children. The number
-// of children must equal the rule length.
+// of children must equal the rule length. The caller keeps ownership of
+// the children slice and may reuse it.
 func (f *Forest) Rule(r *grammar.Rule, children []*Node) *Node {
 	if len(children) != r.Len() {
 		panic(fmt.Sprintf("forest: rule %v applied to %d children", r, len(children)))
 	}
-	var b strings.Builder
-	b.WriteString(r.Key())
-	for _, c := range children {
-		b.WriteByte('.')
-		b.WriteString(strconv.Itoa(c.id))
-	}
-	key := b.String()
-	if n, ok := f.ruleIdx[key]; ok {
-		return n
+	h := ruleHash(r, children)
+	for n := f.ruleIdx[h]; n != nil; n = n.hashNext {
+		if ruleEq(n, r, children) {
+			return n
+		}
 	}
 	n := f.newNode(RuleNode)
 	n.sym = r.Lhs
 	n.rule = r
-	n.children = append([]*Node(nil), children...)
-	f.ruleIdx[key] = n
+	n.children = f.copyChildren(children)
+	n.hashNext = f.ruleIdx[h]
+	f.ruleIdx[h] = n
 	return n
 }
 
@@ -198,7 +283,15 @@ func (f *Forest) Ambiguity(alts ...*Node) *Node {
 func (f *Forest) Slot(first *Node) *Node {
 	n := f.newNode(Amb)
 	n.sym = first.sym
-	n.alts = []*Node{first}
+	// Carve the initial single-alternative slice from the child arena;
+	// its capacity is capped at 1, so Pack's append reallocates instead
+	// of clobbering neighbouring carvings.
+	if cap(f.childArena)-len(f.childArena) < 1 {
+		f.childArena = make([]*Node, 0, arenaChunk)
+	}
+	start := len(f.childArena)
+	f.childArena = append(f.childArena, first)
+	n.alts = f.childArena[start : start+1 : start+1]
 	return n
 }
 

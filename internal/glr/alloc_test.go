@@ -1,0 +1,112 @@
+package glr
+
+import (
+	"testing"
+
+	"ipg/internal/core"
+	"ipg/internal/fixtures"
+	"ipg/internal/grammar"
+	"ipg/internal/lalr"
+	"ipg/internal/lr"
+)
+
+// The central perf claim of the lazy generator is that the steady state
+// — parsing over an already-expanded table — runs at plain-LR-driver
+// speed. These regression tests pin the allocation half of that claim:
+// with a caller-held Workspace the token loops of the GSS and the
+// deterministic engines do zero heap allocations on a warm table.
+
+// eofTokens tokenizes and appends the end marker, so prepare() passes
+// the input through without copying.
+func eofTokens(g *grammar.Grammar, text string) []grammar.Symbol {
+	return append(fixtures.Tokens(g, text), grammar.EOF)
+}
+
+func TestGSSRecognizeAllocFree(t *testing.T) {
+	g := fixtures.Booleans()
+	gen := core.New(g, nil)
+	input := eofTokens(g, "true or false and true")
+	ws := new(Workspace)
+	opts := &Options{Engine: GSS, DisableTrees: true, Workspace: ws}
+	// Warm up: expand the lazy table and size the workspace buffers.
+	for i := 0; i < 3; i++ {
+		res, err := Parse(gen, input, opts)
+		if err != nil || !res.Accepted {
+			t.Fatalf("warm-up: %v %v", res.Accepted, err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		res, err := Parse(gen, input, opts)
+		if err != nil || !res.Accepted {
+			t.Fatalf("parse: %v %v", res.Accepted, err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state GSS Recognize loop allocates %.2f allocs/op, want 0", avg)
+	}
+	if res, err := Parse(gen, input, opts); err != nil || res.Forest != nil {
+		t.Errorf("recognition built a forest (Forest=%v, err=%v), want none", res.Forest, err)
+	}
+}
+
+func TestDeterministicRecognizeAllocFree(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= E
+E ::= E "+" "x" | "x"
+`)
+	tbl := lalr.Generate(g)
+	if len(tbl.Conflicts()) != 0 {
+		t.Fatalf("grammar not LALR(1): %v", tbl.Conflicts())
+	}
+	x, _ := g.Symbols().Lookup("x")
+	plus, _ := g.Symbols().Lookup("+")
+	input := []grammar.Symbol{x, plus, x, plus, x, grammar.EOF}
+	ws := new(Workspace)
+	opts := &Options{Engine: Deterministic, DisableTrees: true, Workspace: ws}
+	for i := 0; i < 3; i++ {
+		res, err := Parse(tbl, input, opts)
+		if err != nil || !res.Accepted {
+			t.Fatalf("warm-up: %v %v", res.Accepted, err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		res, err := Parse(tbl, input, opts)
+		if err != nil || !res.Accepted {
+			t.Fatalf("parse: %v %v", res.Accepted, err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state deterministic loop allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestWorkspaceReuseMatchesFresh guards the workspace recycling: a parse
+// through a heavily reused workspace must produce exactly the result a
+// fresh one does, including stats and forests.
+func TestWorkspaceReuseMatchesFresh(t *testing.T) {
+	g := fixtures.Booleans()
+	auto := lr.New(g)
+	auto.GenerateAll()
+	inputs := []string{
+		"true",
+		"true or false",
+		"true or false and true or true",
+		"true or or true", // rejected
+	}
+	ws := new(Workspace)
+	for _, text := range inputs {
+		toks := fixtures.Tokens(g, text)
+		reused, err1 := Parse(auto, toks, &Options{Engine: GSS, Workspace: ws})
+		fresh, err2 := Parse(auto, toks, &Options{Engine: GSS, Workspace: new(Workspace)})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%q: err mismatch %v vs %v", text, err1, err2)
+		}
+		if reused.Accepted != fresh.Accepted || reused.Stats != fresh.Stats ||
+			reused.ErrorPos != fresh.ErrorPos {
+			t.Errorf("%q: reused %+v vs fresh %+v", text, reused, fresh)
+		}
+		if (reused.Root == nil) != (fresh.Root == nil) {
+			t.Errorf("%q: root nil-ness differs", text)
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package glr
 
 import (
-	"sort"
-
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
 	"ipg/internal/lr"
@@ -24,6 +22,12 @@ import (
 // traverse the new edge. Termination needs no budget: nodes per sweep are
 // bounded by the number of states, edges by node pairs, and re-examination
 // only triggers on new edges.
+//
+// All transient structures — GSS nodes and edges, the two frontiers, the
+// pending-reduction stack and the path/action buffers — live in a
+// Workspace (workspace.go) that is rewound per parse and recycled across
+// parses, so the steady-state token loop over an already-expanded table
+// performs no heap allocation.
 
 type gssNode struct {
 	state *lr.State
@@ -47,32 +51,6 @@ func (n *gssNode) edgeTo(dest *gssNode) *gssEdge {
 	return nil
 }
 
-// frontier is the set of stack tops of one sweep, with deterministic
-// iteration order (sorted by state ID).
-type gssFrontier struct {
-	byState map[*lr.State]*gssNode
-	order   []*gssNode
-}
-
-func newFrontier() *gssFrontier {
-	return &gssFrontier{byState: map[*lr.State]*gssNode{}}
-}
-
-func (f *gssFrontier) get(s *lr.State) (*gssNode, bool) {
-	n, ok := f.byState[s]
-	return n, ok
-}
-
-func (f *gssFrontier) add(n *gssNode) {
-	f.byState[n.state] = n
-	f.order = append(f.order, n)
-	sort.Slice(f.order, func(i, j int) bool { return f.order[i].state.ID < f.order[j].state.ID })
-}
-
-func (f *gssFrontier) nodes() []*gssNode { return f.order }
-
-func (f *gssFrontier) len() int { return len(f.byState) }
-
 // pendingReduce is a deferred reduction: apply rule from node, considering
 // only paths that traverse the mustUse edge (nil = all paths).
 type pendingReduce struct {
@@ -81,79 +59,98 @@ type pendingReduce struct {
 	mustUse *gssEdge
 }
 
+// enqueueReduces appends n's reductions on symbol to the work stack and
+// records accepts. For a state not yet expanded the AppendActions call
+// performs the lazy expansion, so a brand-new GSS node examined here
+// also meets the Appendix A invariant for later GOTOs through it.
+func (w *Workspace) enqueueReduces(tbl lr.Table, n *gssNode, symbol grammar.Symbol, pos int, opts *Options, res *Result) {
+	w.actions = tbl.AppendActions(w.actions[:0], n.state, symbol)
+	for _, action := range w.actions {
+		switch action.Kind {
+		case lr.Reduce:
+			w.work = append(w.work, pendingReduce{node: n, rule: action.Rule})
+		case lr.Accept:
+			res.Accepted = true
+			res.Stats.Accepts++
+			opts.trace(Event{Op: "accept", Token: symbol, Pos: pos})
+			w.acceptNodes = append(w.acceptNodes, n)
+		}
+	}
+}
+
 func gssParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, error) {
-	res := Result{Forest: opts.forest(), ErrorPos: -1}
+	w, pooled := opts.workspaceFor()
+	if pooled {
+		defer releaseWorkspace(w)
+	}
 	buildTrees := opts.trees()
+	res := Result{ErrorPos: -1}
+	if buildTrees {
+		// Recognition never touches a forest: it is only built when the
+		// caller wants trees.
+		res.Forest = opts.forest()
+	}
+	w.begin()
 
-	frontier := newFrontier()
-	startNode := &gssNode{state: tbl.Start()}
+	front, next := &w.front, &w.next
+	front.reset()
+	startNode := w.nodes.get(tbl.Start())
 	res.Stats.Nodes++
-	frontier.add(startNode)
+	front.add(startNode)
 
-	var acceptNodes []*gssNode
 	// Failure diagnostics: the frontier of the last processed sweep.
-	var lastStates []*lr.State
 	lastPos := 0
 
 	for pos := 0; pos < len(input); pos++ {
 		symbol := input[pos]
 		res.Stats.Sweeps++
-		if frontier.len() > res.Stats.MaxParsers {
-			res.Stats.MaxParsers = frontier.len()
+		if front.len() > res.Stats.MaxParsers {
+			res.Stats.MaxParsers = front.len()
 		}
 		lastPos = pos
 
 		// Phase 1: reductions (and accept detection) to fixpoint.
-		var work []pendingReduce
-		enqueueNode := func(n *gssNode) {
-			for _, action := range tbl.Actions(n.state, symbol) {
-				switch action.Kind {
-				case lr.Reduce:
-					work = append(work, pendingReduce{node: n, rule: action.Rule})
-				case lr.Accept:
-					res.Accepted = true
-					res.Stats.Accepts++
-					opts.trace(Event{Op: "accept", Token: symbol, Pos: pos})
-					acceptNodes = append(acceptNodes, n)
-				}
-			}
-		}
-		for _, n := range frontier.nodes() {
-			enqueueNode(n)
+		w.work = w.work[:0]
+		for _, n := range front.order {
+			w.enqueueReduces(tbl, n, symbol, pos, opts, &res)
 		}
 
-		for len(work) > 0 {
-			p := work[len(work)-1]
-			work = work[:len(work)-1]
+		for len(w.work) > 0 {
+			p := w.work[len(w.work)-1]
+			w.work = w.work[:len(w.work)-1]
 			res.Stats.Reduces++
 			opts.trace(Event{Op: "reduce", Token: symbol, Pos: pos, Rule: p.rule})
 
-			for _, path := range gssPaths(p.node, p.rule.Len(), p.mustUse) {
+			plen := p.rule.Len()
+			w.paths = w.paths[:0]
+			w.children = w.children[:0]
+			w.collectPaths(p.node, plen, p.mustUse, buildTrees)
+			for _, path := range w.paths {
 				dest := path.dest
 				goState := tbl.Goto(dest.state, p.rule.Lhs)
 				opts.trace(Event{Op: "goto", Token: symbol, Pos: pos, State: goState})
 
 				var ruleNode *forest.Node
 				if buildTrees {
-					ruleNode = res.Forest.Rule(p.rule, path.children)
+					ruleNode = res.Forest.Rule(p.rule, w.children[path.childOff:path.childOff+plen])
 				}
 
-				m, exists := frontier.get(goState)
-				if !exists {
-					m = &gssNode{state: goState}
+				m := front.get(goState)
+				if m == nil {
+					m = w.nodes.get(goState)
 					res.Stats.Nodes++
-					frontier.add(m)
-					edge := &gssEdge{to: dest}
+					front.add(m)
+					var label *forest.Node
 					if buildTrees {
-						edge.label = res.Forest.Slot(ruleNode)
+						label = res.Forest.Slot(ruleNode)
 					}
-					m.edges = append(m.edges, edge)
+					m.edges = append(m.edges, w.edges.get(dest, label))
 					res.Stats.Edges++
 					// A brand-new node: examine its own reductions (this
 					// also expands its state under the lazy generator, so
 					// later GOTOs through it meet the Appendix A
 					// invariant).
-					enqueueNode(m)
+					w.enqueueReduces(tbl, m, symbol, pos, opts, &res)
 					continue
 				}
 				if edge := m.edgeTo(dest); edge != nil {
@@ -165,19 +162,21 @@ func gssParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, erro
 					}
 					continue
 				}
-				edge := &gssEdge{to: dest}
+				var label *forest.Node
 				if buildTrees {
-					edge.label = res.Forest.Slot(ruleNode)
+					label = res.Forest.Slot(ruleNode)
 				}
+				edge := w.edges.get(dest, label)
 				m.edges = append(m.edges, edge)
 				res.Stats.Edges++
 				// New edge on an existing node: conservatively re-examine
 				// every frontier node's reductions, restricted to paths
 				// through the new edge (Nozohoor-Farshi).
-				for _, n := range frontier.nodes() {
-					for _, action := range tbl.Actions(n.state, symbol) {
+				for _, n := range front.order {
+					w.actions = tbl.AppendActions(w.actions[:0], n.state, symbol)
+					for _, action := range w.actions {
 						if action.Kind == lr.Reduce {
-							work = append(work, pendingReduce{node: n, rule: action.Rule, mustUse: edge})
+							w.work = append(w.work, pendingReduce{node: n, rule: action.Rule, mustUse: edge})
 						}
 					}
 				}
@@ -185,48 +184,49 @@ func gssParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, erro
 		}
 
 		// Snapshot for failure diagnostics: every frontier state has been
-		// expanded by the Actions calls above.
-		lastStates = lastStates[:0]
-		for _, n := range frontier.nodes() {
-			lastStates = append(lastStates, n.state)
+		// expanded by the AppendActions calls above.
+		w.lastStates = w.lastStates[:0]
+		for _, n := range front.order {
+			w.lastStates = append(w.lastStates, n.state)
 		}
 
 		// Phase 2: shifts, synchronized as in PAR-PARSE.
-		next := newFrontier()
+		next.reset()
 		var leaf *forest.Node
 		if buildTrees {
 			leaf = res.Forest.Leaf(symbol, pos)
 		}
-		for _, n := range frontier.nodes() {
-			for _, action := range tbl.Actions(n.state, symbol) {
+		for _, n := range front.order {
+			w.actions = tbl.AppendActions(w.actions[:0], n.state, symbol)
+			for _, action := range w.actions {
 				if action.Kind != lr.Shift {
 					continue
 				}
 				res.Stats.Shifts++
 				opts.trace(Event{Op: "shift", Token: symbol, Pos: pos, State: action.State})
-				m, ok := next.get(action.State)
-				if !ok {
-					m = &gssNode{state: action.State}
+				m := next.get(action.State)
+				if m == nil {
+					m = w.nodes.get(action.State)
 					res.Stats.Nodes++
 					next.add(m)
 				}
-				edge := &gssEdge{to: n}
+				var label *forest.Node
 				if buildTrees {
-					edge.label = res.Forest.Slot(leaf)
+					label = res.Forest.Slot(leaf)
 				}
-				m.edges = append(m.edges, edge)
+				m.edges = append(m.edges, w.edges.get(n, label))
 				res.Stats.Edges++
 			}
 		}
-		frontier = next
-		if frontier.len() == 0 {
+		front, next = next, front
+		if front.len() == 0 {
 			break
 		}
 	}
 
 	if res.Accepted && buildTrees {
 		var roots []*forest.Node
-		for _, n := range acceptNodes {
+		for _, n := range w.acceptNodes {
 			for _, e := range n.edges {
 				roots = append(roots, e.label)
 			}
@@ -237,44 +237,51 @@ func gssParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, erro
 	}
 	if !res.Accepted {
 		res.ErrorPos = lastPos
-		res.Expected = expectedOf(tbl.Grammar(), lastStates)
+		res.Expected = expectedOf(tbl.Grammar(), w.lastStates)
 	}
 	return res, nil
 }
 
 // gssPath is one reduction path: the destination node (where GOTO applies)
-// and the forest labels along the way in left-to-right rule order.
+// and, when trees are built, the offset of the path's forest labels in
+// the workspace's flat children buffer (left-to-right rule order).
 type gssPath struct {
 	dest     *gssNode
-	children []*forest.Node
+	childOff int
 }
 
-// gssPaths enumerates all paths of exactly length edges starting at n,
-// optionally restricted to paths traversing mustUse.
-func gssPaths(n *gssNode, length int, mustUse *gssEdge) []gssPath {
-	var out []gssPath
-	// Labels are collected top-of-stack first, i.e. in reverse rule
-	// order; they are reversed on emission.
-	labels := make([]*forest.Node, 0, length)
-	var walk func(cur *gssNode, remaining int, used bool)
-	walk = func(cur *gssNode, remaining int, used bool) {
-		if remaining == 0 {
-			if mustUse != nil && !used {
-				return
-			}
-			children := make([]*forest.Node, length)
-			for i, l := range labels {
-				children[length-1-i] = l
-			}
-			out = append(out, gssPath{dest: cur, children: children})
+// collectPaths enumerates all paths of exactly length edges starting at
+// n into w.paths/w.children, optionally restricted to paths traversing
+// mustUse. Offsets (not sub-slices) index the flat children buffer, so
+// its growth cannot invalidate earlier paths.
+func (w *Workspace) collectPaths(n *gssNode, length int, mustUse *gssEdge, withChildren bool) {
+	w.labels = w.labels[:0]
+	w.walkPaths(n, length, false, mustUse, length, withChildren)
+}
+
+func (w *Workspace) walkPaths(cur *gssNode, remaining int, used bool, mustUse *gssEdge, length int, withChildren bool) {
+	if remaining == 0 {
+		if mustUse != nil && !used {
 			return
 		}
-		for _, e := range cur.edges {
-			labels = append(labels, e.label)
-			walk(e.to, remaining-1, used || e == mustUse)
-			labels = labels[:len(labels)-1]
+		off := len(w.children)
+		if withChildren {
+			// Labels were collected top-of-stack first, i.e. in reverse
+			// rule order; emit them reversed.
+			for i := length - 1; i >= 0; i-- {
+				w.children = append(w.children, w.labels[i])
+			}
+		}
+		w.paths = append(w.paths, gssPath{dest: cur, childOff: off})
+		return
+	}
+	for _, e := range cur.edges {
+		if withChildren {
+			w.labels = append(w.labels, e.label)
+		}
+		w.walkPaths(e.to, remaining-1, used || e == mustUse, mustUse, length, withChildren)
+		if withChildren {
+			w.labels = w.labels[:len(w.labels)-1]
 		}
 	}
-	walk(n, length, false)
-	return out
 }

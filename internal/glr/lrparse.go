@@ -11,22 +11,33 @@ import (
 // this engine. Tree building keeps a parallel stack of forest nodes —
 // the paper omits trees from the pseudocode ("to keep things simple, we
 // do not generate parse trees") but measures with tree building on.
+//
+// The stack and the action buffer live in the shared Workspace, and the
+// action set is fetched through AppendActions, so the steady-state token
+// loop of the deterministic driver allocates nothing.
 func lrParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, error) {
-	res := Result{Forest: opts.forest(), ErrorPos: -1}
-	buildTrees := opts.trees()
-
-	type entry struct {
-		state *lr.State
-		node  *forest.Node
+	w, pooled := opts.workspaceFor()
+	if pooled {
+		defer releaseWorkspace(w)
 	}
-	stack := []entry{{state: tbl.Start()}}
+	buildTrees := opts.trees()
+	res := Result{ErrorPos: -1}
+	if buildTrees {
+		res.Forest = opts.forest()
+	}
+	tracing := opts != nil && opts.Trace != nil
 
+	w.begin()
+	w.detStack = append(w.detStack, detEntry{state: tbl.Start()})
+
+	// stackIDs renders the state stack for trace events only; the parse
+	// itself never materializes it.
 	stackIDs := func() []int {
-		out := make([]int, len(stack))
-		for i, e := range stack {
-			out[i] = e.state.ID
+		w.stackIDs = w.stackIDs[:0]
+		for _, e := range w.detStack {
+			w.stackIDs = append(w.stackIDs, e.state.ID)
 		}
-		return out
+		return w.stackIDs
 	}
 
 	pos := 0
@@ -37,26 +48,28 @@ func lrParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, error
 		if res.Stats.Reduces > budget {
 			return res, ErrNotFinitelyAmbiguous
 		}
-		state := stack[len(stack)-1].state
-		actions := tbl.Actions(state, symbol)
-		if len(actions) == 0 {
+		state := w.detStack[len(w.detStack)-1].state
+		w.actions = tbl.AppendActions(w.actions[:0], state, symbol)
+		if len(w.actions) == 0 {
 			// The error action: "the input read so far can never become
 			// a sentence of the language any more."
 			res.ErrorPos = pos
 			res.Expected = expectedOf(tbl.Grammar(), []*lr.State{state})
 			return res, nil
 		}
-		if len(actions) > 1 {
+		if len(w.actions) > 1 {
 			return res, ErrNondeterministic
 		}
-		switch action := actions[0]; action.Kind {
+		switch action := w.actions[0]; action.Kind {
 		case lr.Shift:
 			var leaf *forest.Node
 			if buildTrees {
 				leaf = res.Forest.Leaf(symbol, pos)
 			}
-			stack = append(stack, entry{state: action.State, node: leaf})
-			opts.trace(Event{Op: "shift", Token: symbol, Pos: pos, State: action.State, Stack: stackIDs()})
+			w.detStack = append(w.detStack, detEntry{state: action.State, node: leaf})
+			if tracing {
+				opts.trace(Event{Op: "shift", Token: symbol, Pos: pos, State: action.State, Stack: stackIDs()})
+			}
 			res.Stats.Shifts++
 			pos++
 			symbol = input[pos]
@@ -64,27 +77,33 @@ func lrParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, error
 			n := action.Rule.Len()
 			var node *forest.Node
 			if buildTrees {
-				children := make([]*forest.Node, n)
+				w.children = w.children[:0]
 				for i := 0; i < n; i++ {
-					children[i] = stack[len(stack)-n+i].node
+					w.children = append(w.children, w.detStack[len(w.detStack)-n+i].node)
 				}
-				node = res.Forest.Rule(action.Rule, children)
+				node = res.Forest.Rule(action.Rule, w.children)
 			}
-			stack = stack[:len(stack)-n]
-			opts.trace(Event{Op: "reduce", Token: symbol, Pos: pos, Rule: action.Rule, Stack: stackIDs()})
+			w.detStack = w.detStack[:len(w.detStack)-n]
+			if tracing {
+				opts.trace(Event{Op: "reduce", Token: symbol, Pos: pos, Rule: action.Rule, Stack: stackIDs()})
+			}
 			// GOTO is called on the uncovered stack top, which Appendix A
 			// proves to be complete; lr.GotoOf checks the invariant.
-			state = tbl.Goto(stack[len(stack)-1].state, action.Rule.Lhs)
-			stack = append(stack, entry{state: state, node: node})
-			opts.trace(Event{Op: "goto", Token: symbol, Pos: pos, State: state, Stack: stackIDs()})
+			state = tbl.Goto(w.detStack[len(w.detStack)-1].state, action.Rule.Lhs)
+			w.detStack = append(w.detStack, detEntry{state: state, node: node})
+			if tracing {
+				opts.trace(Event{Op: "goto", Token: symbol, Pos: pos, State: state, Stack: stackIDs()})
+			}
 			res.Stats.Reduces++
 		case lr.Accept:
 			res.Accepted = true
 			res.Stats.Accepts++
 			if buildTrees {
-				res.Root = stack[len(stack)-1].node
+				res.Root = w.detStack[len(w.detStack)-1].node
 			}
-			opts.trace(Event{Op: "accept", Token: symbol, Pos: pos, Stack: stackIDs()})
+			if tracing {
+				opts.trace(Event{Op: "accept", Token: symbol, Pos: pos, Stack: stackIDs()})
+			}
 			return res, nil
 		}
 	}

@@ -30,9 +30,17 @@ func copyParser(p *lrParser) *lrParser { return &lrParser{stack: p.stack} }
 // simple LR parsers running in pseudo-parallel, synchronized on their
 // shift actions through the this-sweep and next-sweep pools.
 func parParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, error) {
-	res := Result{Forest: opts.forest(), ErrorPos: -1}
+	w, pooled := opts.workspaceFor()
+	if pooled {
+		defer releaseWorkspace(w)
+	}
+	res := Result{ErrorPos: -1}
 	buildTrees := opts.trees()
+	if buildTrees {
+		res.Forest = opts.forest()
+	}
 	budget := opts.budget(len(input))
+	w.begin()
 
 	accepted := false
 	var roots []*forest.Node
@@ -65,12 +73,12 @@ func parParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, erro
 			}
 
 			state := parser.stack.state
-			actions := tbl.Actions(state, symbol)
+			w.actions = tbl.AppendActions(w.actions[:0], state, symbol)
 			lastStates = append(lastStates, state)
 			// For each action a copy of the parser is made and the action
 			// is performed on the copy; with no actions the parser just
 			// disappears (the error action).
-			for _, action := range actions {
+			for _, action := range w.actions {
 				parser2 := copyParser(parser)
 				res.Stats.Copies++
 				switch action.Kind {

@@ -77,7 +77,8 @@ type Event struct {
 	// Rule is the reduced rule for "reduce".
 	Rule *grammar.Rule
 	// Stack is the state stack bottom-to-top after the event
-	// (deterministic engine only).
+	// (deterministic engine only). The slice is reused between events;
+	// copy it if the trace callback retains it.
 	Stack []int
 }
 
@@ -104,7 +105,8 @@ type Result struct {
 	// is off). Multiple accepting parses are packed under one ambiguity
 	// node.
 	Root *forest.Node
-	// Forest is the forest Root lives in.
+	// Forest is the forest Root lives in. It is nil when tree building
+	// is off: recognition never constructs a forest.
 	Forest *forest.Forest
 	// ErrorPos is the token index at which the last parser died, or -1
 	// when the input was accepted. The end marker position signals
@@ -161,6 +163,12 @@ type Options struct {
 	MaxReductions int
 	// Forest supplies an existing forest to build into (optional).
 	Forest *forest.Forest
+	// Workspace supplies reusable per-parse scratch (GSS arenas,
+	// frontiers, action buffers), making the steady-state token loop
+	// allocation-free. Nil borrows one from an internal pool. A
+	// workspace serves one parse at a time, so an Options value carrying
+	// one must not be shared by concurrent parses.
+	Workspace *Workspace
 }
 
 func (o *Options) budget(inputLen int) int {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -206,14 +208,37 @@ type EngineResult struct {
 	Tokens      int   `json:"tokens"`
 	// TokensPerSec is the steady-state throughput.
 	TokensPerSec float64 `json:"tokens_per_sec"`
+	// AllocsPerOp and BytesPerOp are heap allocations and bytes per
+	// steady-state pass (one full recognition pass over the workload) —
+	// the numbers the allocation-regression CI gate compares against.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// P50NS/P95NS/P99NS are steady-state per-sentence latency
+	// percentiles in nanoseconds.
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	P99NS int64 `json:"p99_ns"`
 	// Error marks backends a workload cannot use (e.g. LL on a
 	// left-recursive grammar).
 	Error string `json:"error,omitempty"`
 }
 
+// engineRun is one measured run of one backend over one workload.
+type engineRun struct {
+	construct, warm, parse time.Duration
+	// allocs/bytes are the heap cost of one steady pass; latencies the
+	// per-sentence durations of that pass (sorted).
+	allocs, bytes int64
+	latencies     []time.Duration
+	selected      string
+	reason        string
+}
+
 // RunEngines measures every workload under each of its backends,
 // repeating `repeat` times and keeping per-phase minima (scheduler-noise
-// damping, as in Fig 7.1's procedure).
+// damping, as in Fig 7.1's procedure). Allocation counts take the
+// minimum too (GC noise only adds); latency percentiles come from the
+// fastest instrumented pass.
 func RunEngines(workloads []EngineWorkload, repeat int) []EngineResult {
 	if repeat < 1 {
 		repeat = 1
@@ -230,21 +255,28 @@ func RunEngines(workloads []EngineWorkload, repeat int) []EngineResult {
 				Sentences: len(w.Sentences), Tokens: tokens,
 			}
 			for i := 0; i < repeat; i++ {
-				construct, warm, parse, sel, reason, err := runEnginesOnce(kind, w)
+				run, err := runEnginesOnce(kind, w)
 				if err != nil {
 					res.Error = err.Error()
 					break
 				}
-				if i == 0 || construct < time.Duration(res.ConstructNS) {
-					res.ConstructNS = construct.Nanoseconds()
+				if i == 0 || run.construct < time.Duration(res.ConstructNS) {
+					res.ConstructNS = run.construct.Nanoseconds()
 				}
-				if i == 0 || warm < time.Duration(res.WarmParseNS) {
-					res.WarmParseNS = warm.Nanoseconds()
+				if i == 0 || run.warm < time.Duration(res.WarmParseNS) {
+					res.WarmParseNS = run.warm.Nanoseconds()
 				}
-				if i == 0 || parse < time.Duration(res.ParseNS) {
-					res.ParseNS = parse.Nanoseconds()
+				if i == 0 || run.parse < time.Duration(res.ParseNS) {
+					res.ParseNS = run.parse.Nanoseconds()
+					res.P50NS = PercentileNS(run.latencies, 0.50)
+					res.P95NS = PercentileNS(run.latencies, 0.95)
+					res.P99NS = PercentileNS(run.latencies, 0.99)
 				}
-				res.Selected, res.Reason = sel, reason
+				if i == 0 || run.allocs < res.AllocsPerOp {
+					res.AllocsPerOp = run.allocs
+					res.BytesPerOp = run.bytes
+				}
+				res.Selected, res.Reason = run.selected, run.reason
 			}
 			if res.Error == "" && res.ParseNS > 0 {
 				res.TokensPerSec = float64(tokens) / (float64(res.ParseNS) / 1e9)
@@ -255,15 +287,33 @@ func RunEngines(workloads []EngineWorkload, repeat int) []EngineResult {
 	return out
 }
 
-func runEnginesOnce(kind engine.Kind, w EngineWorkload) (construct, warm, parse time.Duration, selected, reason string, err error) {
+// PercentileNS reads the q-th percentile (nearest rank) from sorted
+// per-sentence latencies; the engine benchmarks share it so their
+// percentile columns and the -json artifact cannot diverge.
+func PercentileNS(sorted []time.Duration, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Nanoseconds()
+}
+
+func runEnginesOnce(kind engine.Kind, w EngineWorkload) (engineRun, error) {
+	var run engineRun
 	start := time.Now()
 	e, err := engine.New(kind, w.Grammar, nil)
 	if err != nil {
-		return 0, 0, 0, "", "", err
+		return run, err
 	}
-	construct = time.Since(start)
+	run.construct = time.Since(start)
 	if kind == engine.KindAuto {
-		selected, reason = e.Kind().String(), e.Reason()
+		run.selected, run.reason = e.Kind().String(), e.Reason()
 	}
 
 	pass := func() (time.Duration, error) {
@@ -279,11 +329,33 @@ func runEnginesOnce(kind engine.Kind, w EngineWorkload) (construct, warm, parse 
 		}
 		return time.Since(start), nil
 	}
-	if warm, err = pass(); err != nil {
-		return construct, 0, 0, selected, reason, err
+	if run.warm, err = pass(); err != nil {
+		return run, err
 	}
-	if parse, err = pass(); err != nil {
-		return construct, warm, 0, selected, reason, err
+	if run.parse, err = pass(); err != nil {
+		return run, err
 	}
-	return construct, warm, parse, selected, reason, nil
+
+	// Instrumented steady pass: per-sentence latencies plus the heap
+	// cost of one pass (measured apart from the timed pass above, so
+	// ReadMemStats and per-sentence clock reads do not pollute ns/op).
+	run.latencies = make([]time.Duration, 0, len(w.Sentences))
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for _, s := range w.Sentences {
+		t0 := time.Now()
+		ok, err := e.Recognize(s)
+		run.latencies = append(run.latencies, time.Since(t0))
+		if err != nil {
+			return run, err
+		}
+		if !ok {
+			return run, errors.New("harness: engine rejected a workload sentence")
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	run.allocs = int64(ms1.Mallocs - ms0.Mallocs)
+	run.bytes = int64(ms1.TotalAlloc - ms0.TotalAlloc)
+	sort.Slice(run.latencies, func(i, j int) bool { return run.latencies[i] < run.latencies[j] })
+	return run, nil
 }

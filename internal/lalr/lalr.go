@@ -65,24 +65,29 @@ func (t *Table) Automaton() *lr.Automaton { return t.auto }
 // Actions implements lr.Table: as the LR(0) automaton, but a reduce is
 // only offered when the current symbol is in the rule's lookahead set.
 func (t *Table) Actions(s *lr.State, sym grammar.Symbol) []lr.Action {
+	return t.AppendActions(make([]lr.Action, 0, 2), s, sym)
+}
+
+// AppendActions implements lr.Table: Actions into a caller-supplied
+// buffer, the allocation-free form the parse engines drive.
+func (t *Table) AppendActions(dst []lr.Action, s *lr.State, sym grammar.Symbol) []lr.Action {
 	if s.Type != lr.Complete {
 		panic(fmt.Sprintf("lalr: Actions on %s state %d", s.Type, s.ID))
 	}
-	actions := make([]lr.Action, 0, 2)
 	if las := t.la[s]; las != nil {
 		for _, r := range s.Reductions {
 			if las[r.Key()].Has(sym) {
-				actions = append(actions, lr.Action{Kind: lr.Reduce, Rule: r})
+				dst = append(dst, lr.Action{Kind: lr.Reduce, Rule: r})
 			}
 		}
 	}
 	if succ, ok := s.Transitions[sym]; ok {
-		actions = append(actions, lr.Action{Kind: lr.Shift, State: succ})
+		dst = append(dst, lr.Action{Kind: lr.Shift, State: succ})
 	}
 	if sym == grammar.EOF && s.Accept {
-		actions = append(actions, lr.Action{Kind: lr.Accept})
+		dst = append(dst, lr.Action{Kind: lr.Accept})
 	}
-	return actions
+	return dst
 }
 
 // Goto implements lr.Table.

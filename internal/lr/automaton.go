@@ -20,6 +20,11 @@ type Table interface {
 	// Actions returns the set of possible actions in state s on terminal
 	// sym (ACTION, section 4/5). An empty result is the error action.
 	Actions(s *State, sym grammar.Symbol) []Action
+	// AppendActions appends the same action set to dst and returns the
+	// extended slice. It is the allocation-free form of Actions: the
+	// parse engines call it with a reused buffer, so the steady-state
+	// token loop does no per-call heap allocation.
+	AppendActions(dst []Action, s *State, sym grammar.Symbol) []Action
 	// Goto returns the successor of s on nonterminal sym (GOTO,
 	// section 4). Per Appendix A it must only be called on complete
 	// states; implementations check this invariant.
@@ -226,20 +231,25 @@ func (a *Automaton) GenerateAll() {
 // every completely recognized rule, a shift if a transition on sym exists,
 // and accept if the special ($ accept) transition exists and sym is $.
 func ActionsOf(s *State, sym grammar.Symbol) []Action {
+	return AppendActionsOf(make([]Action, 0, len(s.Reductions)+1), s, sym)
+}
+
+// AppendActionsOf is ActionsOf into a caller-supplied buffer: the shared
+// allocation-free ACTION implementation behind Table.AppendActions.
+func AppendActionsOf(dst []Action, s *State, sym grammar.Symbol) []Action {
 	if s.Type != Complete {
 		panic(fmt.Sprintf("lr: ActionsOf on %s state %d", s.Type, s.ID))
 	}
-	actions := make([]Action, 0, len(s.Reductions)+1)
 	for _, r := range s.Reductions {
-		actions = append(actions, Action{Kind: Reduce, Rule: r})
+		dst = append(dst, Action{Kind: Reduce, Rule: r})
 	}
 	if succ, ok := s.Transitions[sym]; ok {
-		actions = append(actions, Action{Kind: Shift, State: succ})
+		dst = append(dst, Action{Kind: Shift, State: succ})
 	}
 	if sym == grammar.EOF && s.Accept {
-		actions = append(actions, Action{Kind: Accept})
+		dst = append(dst, Action{Kind: Accept})
 	}
-	return actions
+	return dst
 }
 
 // Actions implements Table for the conventional (fully generated)
@@ -247,6 +257,11 @@ func ActionsOf(s *State, sym grammar.Symbol) []Action {
 // in internal/core for by-need expansion.
 func (a *Automaton) Actions(s *State, sym grammar.Symbol) []Action {
 	return ActionsOf(s, sym)
+}
+
+// AppendActions implements Table; see AppendActionsOf.
+func (a *Automaton) AppendActions(dst []Action, s *State, sym grammar.Symbol) []Action {
+	return AppendActionsOf(dst, s, sym)
 }
 
 // Goto implements Table: the successor of s on nonterminal sym after a

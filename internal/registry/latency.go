@@ -1,0 +1,111 @@
+package registry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets is the number of histogram buckets: bucket i counts
+// requests whose latency in microseconds has bit-length i, i.e. lies in
+// [2^(i-1), 2^i) µs (bucket 0 is <1µs; the last bucket is the
+// overflow). 26 buckets resolve latencies up to 2^25 µs ≈ 33.5s —
+// far beyond any parse the admission limits let through; everything
+// slower collapses into the overflow bucket.
+const LatencyBuckets = 26
+
+// latencyHist is a fixed-bucket, lock-free latency histogram: observing
+// a request is two atomic increments and one atomic add, so it sits on
+// the parse path without serializing concurrent requests.
+type latencyHist struct {
+	buckets [LatencyBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumUS   atomic.Uint64
+}
+
+func latencyBucketOf(us uint64) int {
+	b := bits.Len64(us)
+	if b >= LatencyBuckets {
+		b = LatencyBuckets - 1
+	}
+	return b
+}
+
+// LatencyBucketBound returns the inclusive upper bound, in microseconds,
+// of histogram bucket i (the last bucket has no bound and reports its
+// lower one).
+func LatencyBucketBound(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	return (uint64(1) << i) - 1
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := uint64(0)
+	if d > 0 {
+		us = uint64(d.Microseconds())
+	}
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	h.buckets[latencyBucketOf(us)].Add(1)
+}
+
+// LatencySnapshot is a point-in-time copy of a latency histogram. The
+// zero value is a valid empty snapshot, and snapshots merge (Add), so
+// the serve layer can aggregate per-engine histograms across entries.
+type LatencySnapshot struct {
+	// Buckets[i] counts requests in bucket i; see LatencyBucketBound.
+	Buckets [LatencyBuckets]uint64
+	// Count and SumUS aggregate all observations.
+	Count uint64
+	SumUS uint64
+}
+
+func (h *latencyHist) snapshot() LatencySnapshot {
+	var s LatencySnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumUS = h.sumUS.Load()
+	return s
+}
+
+// Add merges another snapshot into s.
+func (s *LatencySnapshot) Add(o LatencySnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.SumUS += o.SumUS
+}
+
+// MeanUS is the mean request latency in microseconds (0 when empty).
+func (s LatencySnapshot) MeanUS() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumUS) / float64(s.Count)
+}
+
+// PercentileUS returns the q-th percentile (0 < q <= 1) as the upper
+// bound of the bucket holding it — an upper estimate with power-of-two
+// resolution, which is what histogram percentiles can honestly claim.
+func (s LatencySnapshot) PercentileUS(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return LatencyBucketBound(i)
+		}
+	}
+	return LatencyBucketBound(LatencyBuckets - 1)
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ipg/internal/registry"
+)
+
+// TestLatencyStats exercises the per-engine latency histograms: after a
+// few parses, /v1/stats reports p50/p95/p99 for the serving backend and
+// the entry's own stats carry its histogram.
+func TestLatencyStats(t *testing.T) {
+	s := New(nil)
+	h := s.Handler()
+
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		t.Helper()
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := do("PUT", "/v1/grammars/bools", `{"source":"START ::= B\nB ::= \"true\" | \"false\" | B \"or\" B"}`); rec.Code != 201 {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body)
+	}
+	for i := 0; i < 5; i++ {
+		if rec := do("POST", "/v1/grammars/bools/parse", `{"input":"true or false"}`); rec.Code != 200 {
+			t.Fatalf("parse: %d %s", rec.Code, rec.Body)
+		}
+	}
+
+	var stats ServiceStats
+	rec := do("GET", "/v1/stats", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	lat, ok := stats.LatencyByEngine["glr"]
+	if !ok {
+		t.Fatalf("no glr latency in /v1/stats: %s", rec.Body)
+	}
+	if lat.Count != 5 {
+		t.Errorf("latency count = %d, want 5", lat.Count)
+	}
+	if lat.P50US > lat.P95US || lat.P95US > lat.P99US {
+		t.Errorf("percentiles not monotonic: p50=%d p95=%d p99=%d", lat.P50US, lat.P95US, lat.P99US)
+	}
+
+	var info EntryInfo
+	rec = do("GET", "/v1/grammars/bools", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Latency == nil || info.Latency.Count != 5 {
+		t.Errorf("entry latency = %+v, want count 5", info.Latency)
+	}
+}
+
+// TestLatencySnapshotMerge pins the registry-level histogram math the
+// serve aggregation relies on.
+func TestLatencySnapshotMerge(t *testing.T) {
+	var a, b registry.LatencySnapshot
+	a.Buckets[3] = 10 // 10 requests in [4µs, 8µs)
+	a.Count, a.SumUS = 10, 60
+	b.Buckets[5] = 10 // 10 requests in [16µs, 32µs)
+	b.Count, b.SumUS = 10, 250
+	a.Add(b)
+	if a.Count != 20 {
+		t.Fatalf("merged count %d", a.Count)
+	}
+	if p50 := a.PercentileUS(0.50); p50 != registry.LatencyBucketBound(3) {
+		t.Errorf("p50 = %d, want bucket-3 bound %d", p50, registry.LatencyBucketBound(3))
+	}
+	if p99 := a.PercentileUS(0.99); p99 != registry.LatencyBucketBound(5) {
+		t.Errorf("p99 = %d, want bucket-5 bound %d", p99, registry.LatencyBucketBound(5))
+	}
+	if mean := a.MeanUS(); mean != 15.5 {
+		t.Errorf("mean = %v, want 15.5", mean)
+	}
+}

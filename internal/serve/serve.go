@@ -183,8 +183,38 @@ type ServiceStats struct {
 	// the per-grammar selection at a glance.
 	Engines         map[string]int             `json:"engines,omitempty"`
 	EngineSelection map[string]EngineSelection `json:"engine_selection,omitempty"`
+	// LatencyByEngine aggregates every entry's request-latency histogram
+	// by the concrete backend serving it: the per-engine p50/p95/p99 of
+	// the service.
+	LatencyByEngine map[string]*LatencyStats `json:"latency_by_engine,omitempty"`
 	// Snapshots reports the snapshot subsystem (null when disabled).
 	Snapshots *SnapshotSubsystemStats `json:"snapshots,omitempty"`
+}
+
+// LatencyStats is the JSON rendering of a request-latency histogram:
+// percentiles are reported as the upper bound of the power-of-two bucket
+// holding them, in microseconds.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  uint64  `json:"p50_us"`
+	P95US  uint64  `json:"p95_us"`
+	P99US  uint64  `json:"p99_us"`
+}
+
+// latencyOf renders a snapshot, nil when the histogram is empty (so the
+// JSON omits entries that have served nothing yet).
+func latencyOf(s registry.LatencySnapshot) *LatencyStats {
+	if s.Count == 0 {
+		return nil
+	}
+	return &LatencyStats{
+		Count:  s.Count,
+		MeanUS: s.MeanUS(),
+		P50US:  s.PercentileUS(0.50),
+		P95US:  s.PercentileUS(0.95),
+		P99US:  s.PercentileUS(0.99),
+	}
 }
 
 // EngineSelection is one entry's engine binding in /v1/stats.
@@ -209,6 +239,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if entries := s.reg.Entries(); len(entries) > 0 {
 		out.Engines = make(map[string]int, 4)
 		out.EngineSelection = make(map[string]EngineSelection, len(entries))
+		byEngine := make(map[string]registry.LatencySnapshot, 4)
 		for _, e := range entries {
 			st := e.Stats()
 			out.Engines[st.Engine.String()]++
@@ -217,6 +248,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				sel.Requested = st.Requested.String()
 			}
 			out.EngineSelection[st.Name] = sel
+			merged := byEngine[st.Engine.String()]
+			merged.Add(st.Latency)
+			byEngine[st.Engine.String()] = merged
+		}
+		for kind, snap := range byEngine {
+			if lat := latencyOf(snap); lat != nil {
+				if out.LatencyByEngine == nil {
+					out.LatencyByEngine = make(map[string]*LatencyStats, len(byEngine))
+				}
+				out.LatencyByEngine[kind] = lat
+			}
 		}
 	}
 	if st := s.reg.SnapshotStats(); st.Enabled {
@@ -270,6 +312,9 @@ type EntryInfo struct {
 	MaxForestNodes      int     `json:"max_forest_nodes,omitempty"`
 	RatePerSec          float64 `json:"rate_per_sec,omitempty"`
 	RateBurst           int     `json:"rate_burst,omitempty"`
+	// Latency is the entry's request-latency histogram (null until the
+	// entry has served a request).
+	Latency *LatencyStats `json:"latency,omitempty"`
 }
 
 func infoOf(st registry.Stats) EntryInfo {
@@ -296,6 +341,7 @@ func infoOf(st registry.Stats) EntryInfo {
 		MaxForestNodes:      st.Limits.MaxForestNodes,
 		RatePerSec:          st.Limits.RatePerSec,
 		RateBurst:           st.Limits.Burst,
+		Latency:             latencyOf(st.Latency),
 	}
 	if st.Requested == engine.KindAuto {
 		info.EngineRequested = st.Requested.String()
