@@ -7,16 +7,17 @@
 // workloads (deterministic calculator, its LL(1) factoring, the SDF
 // bootstrap inputs) through every backend of internal/engine — lazy
 // GLR, LALR(1), LL(1), Earley and auto — measuring construct time,
-// cold (lazy warm-up) and steady-state parse passes, allocations and
-// bytes per steady pass, and per-sentence latency percentiles
-// (p50/p95/p99). -json writes the machine-readable results (the
-// perf-trajectory artifact CI uploads, e.g. BENCH_pr4.json, which the
-// allocation-regression gate in internal/engine compares against).
+// cold (lazy warm-up), steady-state recognition and tree-building
+// passes, allocations and bytes per steady pass, and per-sentence
+// latency percentiles (p50/p95/p99). -json writes the machine-readable
+// results (the perf-trajectory artifact CI uploads, e.g. BENCH_pr5.json,
+// which the allocation-regression gate in internal/engine compares
+// against).
 //
 // Usage:
 //
 //	ipg-bench [-testdata dir] [-repeat n]
-//	ipg-bench -engines [-json BENCH_pr4.json]
+//	ipg-bench -engines [-json BENCH_pr5.json]
 package main
 
 import (
@@ -61,7 +62,7 @@ func main() {
 	fmt.Println()
 
 	for _, input := range inputs {
-		fmt.Printf("%s (%d tokens)\n", input.Name, len(input.Tokens))
+		fmt.Printf("%s (%d tokens)\n", input.Name, harness.SentenceLen(input.Tokens))
 		fmt.Printf("  %-5s %12s %12s %12s %12s %12s %12s\n",
 			"", "construct", "parse1", "parse2", "modify", "parse1'", "parse2'")
 		for _, sys := range harness.Systems {
@@ -147,16 +148,16 @@ func runEngines(dir string, repeat int, jsonPath, baselinePath, goBenchPath stri
 	}
 	results := harness.RunEngines(workloads, repeat)
 
-	fmt.Println("Cross-engine comparison — construct / cold parse / steady parse (best of", repeat, "runs)")
-	fmt.Println("(allocs and bytes per steady pass; p50/p95/p99 per-sentence latency)")
+	fmt.Println("Cross-engine comparison — construct / cold parse / steady parse / tree parse (best of", repeat, "runs)")
+	fmt.Println("(allocs and bytes per steady recognition pass; p50/p95/p99 per-sentence latency)")
 	fmt.Println()
 	current := ""
 	for _, r := range results {
 		if r.Workload != current {
 			current = r.Workload
 			fmt.Printf("%s (%d sentences, %d tokens)\n", r.Workload, r.Sentences, r.Tokens)
-			fmt.Printf("  %-8s %12s %12s %12s %14s %10s %10s %10s %10s %10s\n",
-				"", "construct", "cold", "steady", "tokens/s", "allocs/op", "B/op", "p50", "p95", "p99")
+			fmt.Printf("  %-8s %12s %12s %12s %12s %14s %10s %10s %10s %10s %10s\n",
+				"", "construct", "cold", "steady", "trees", "tokens/s", "allocs/op", "B/op", "p50", "p95", "p99")
 		}
 		if r.Error != "" {
 			fmt.Printf("  %-8s %s\n", r.Engine, r.Error)
@@ -166,10 +167,15 @@ func runEngines(dir string, repeat int, jsonPath, baselinePath, goBenchPath stri
 		if r.Selected != "" {
 			name = fmt.Sprintf("%s→%s", r.Engine, r.Selected)
 		}
-		fmt.Printf("  %-8s %12s %12s %12s %14.0f %10d %10d %10s %10s %10s\n", name,
+		trees := "-"
+		if r.TreeParseNS > 0 {
+			trees = fmtDur(time.Duration(r.TreeParseNS))
+		}
+		fmt.Printf("  %-8s %12s %12s %12s %12s %14.0f %10d %10d %10s %10s %10s\n", name,
 			fmtDur(time.Duration(r.ConstructNS)),
 			fmtDur(time.Duration(r.WarmParseNS)),
 			fmtDur(time.Duration(r.ParseNS)),
+			trees,
 			r.TokensPerSec,
 			r.AllocsPerOp, r.BytesPerOp,
 			fmtDur(time.Duration(r.P50NS)),

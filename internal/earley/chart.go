@@ -1,0 +1,420 @@
+package earley
+
+import (
+	"sort"
+	"sync"
+
+	"ipg/internal/grammar"
+)
+
+// item is a dotted rule with its origin position. Rules are referenced
+// by index into the program's rule array, so an item is three machine
+// words of plain data — the chart never holds pointers.
+type item struct {
+	rule   int32
+	dot    int32
+	origin int32
+}
+
+// Workspace is the reusable chart of one Earley parse, mirroring
+// glr.Workspace: all item sets live in one dense, set-partitioned slice,
+// membership is a generation-stamped open-addressed table, and the Leo
+// memo, waiter-counting scratch and completion index are flat arrays
+// rewound per parse. On a steady-state parse (same grammar, similar
+// input sizes) the token loop does no heap allocation.
+//
+// A Workspace may be used by one parse at a time. Callers either supply
+// one through Options.Workspace (and own its lifetime), or leave it nil
+// and the parser borrows one from an internal sync.Pool.
+type Workspace struct {
+	// items holds every Earley item, set by set; bounds[i] is the index
+	// where set i starts (len(bounds) = processed sets + 1, the last
+	// entry closing the final set).
+	items  []item
+	bounds []int32
+	// scanBuf stages the scanner's additions to set i+1 while set i is
+	// still being processed.
+	scanBuf []item
+
+	// Dedup table for the set under construction: open addressing with
+	// generation stamps, so moving to the next set is one counter
+	// increment. Scanned items bypass the table — an item with a
+	// terminal before its dot can only arise from the (injective)
+	// scanner, never from the predictor, completer or nullable skip.
+	tabItems []item
+	tabGen   []uint32
+	gen      uint32
+
+	// Leo memo: per-set (symbol, topmost item) entries with spans in
+	// leoBounds, chained transitively at install time.
+	leo       []leoEntry
+	leoBounds []int32
+
+	// Waiter-counting scratch for Leo eligibility, symbol-indexed and
+	// generation-stamped (shares gen with the dedup table).
+	waitGen   []uint32
+	waitCount []int32
+	waitItem  []int32
+	waitSyms  []grammar.Symbol
+
+	// Completion index for forest building: compHead[origin] heads a
+	// linked list of completion records through comps (tree-building
+	// parses only).
+	comps    []compRec
+	compHead []int32
+
+	pooled bool
+}
+
+// leoEntry memoizes the topmost item of a deterministic reduction path:
+// completing sym in the entry's set adds top directly, skipping the
+// intermediate completions of a right-recursive chain.
+type leoEntry struct {
+	sym grammar.Symbol
+	top item
+}
+
+// compRec records one completed constituent for the forest builder:
+// lhs was derived by rule over [origin, end), where origin is implied
+// by the compHead list the record lives on.
+type compRec struct {
+	lhs  grammar.Symbol
+	rule int32
+	end  int32
+	next int32
+}
+
+// wsPool recycles workspaces for callers that do not manage their own.
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+func (o *Options) workspace() *Workspace {
+	if o != nil && o.Workspace != nil {
+		o.Workspace.pooled = false
+		return o.Workspace
+	}
+	w := wsPool.Get().(*Workspace)
+	w.pooled = true
+	return w
+}
+
+func releaseWorkspace(w *Workspace) { wsPool.Put(w) }
+
+// begin readies the workspace for one parse over n input tokens against
+// a grammar with numSyms symbols. Capacities are kept, so steady-state
+// reuse allocates nothing.
+func (w *Workspace) begin(n, numSyms int, buildTrees bool) {
+	w.items = w.items[:0]
+	w.bounds = append(w.bounds[:0], 0)
+	w.scanBuf = w.scanBuf[:0]
+	w.leo = w.leo[:0]
+	w.leoBounds = append(w.leoBounds[:0], 0)
+	w.comps = w.comps[:0]
+
+	if len(w.tabItems) == 0 {
+		w.tabItems = make([]item, 256)
+		w.tabGen = make([]uint32, 256)
+	}
+	if len(w.waitGen) < numSyms {
+		w.waitGen = make([]uint32, numSyms)
+		w.waitCount = make([]int32, numSyms)
+		w.waitItem = make([]int32, numSyms)
+	}
+	w.waitSyms = w.waitSyms[:0]
+	w.gen++
+	if w.gen == 0 {
+		clear(w.tabGen)
+		clear(w.waitGen)
+		w.gen = 1
+	}
+
+	if buildTrees {
+		if cap(w.compHead) < n+1 {
+			w.compHead = make([]int32, n+1)
+		}
+		w.compHead = w.compHead[:n+1]
+		for i := range w.compHead {
+			w.compHead[i] = -1
+		}
+	}
+}
+
+// nextSet closes the current set and seeds the next one from the
+// scanner staging buffer. The dedup table generation advances; staged
+// items need no table entries (see the Workspace comment).
+func (w *Workspace) nextSet() {
+	w.items = append(w.items, w.scanBuf...)
+	w.scanBuf = w.scanBuf[:0]
+	w.gen++
+	if w.gen == 0 {
+		clear(w.tabGen)
+		clear(w.waitGen)
+		w.gen = 1
+	}
+}
+
+// hash mixes an item into a table index (Fibonacci hashing over the
+// packed fields).
+func (w *Workspace) hash(it item) uint32 {
+	h := uint64(uint32(it.rule))<<42 ^ uint64(uint32(it.dot))<<21 ^ uint64(uint32(it.origin))
+	h *= 0x9E3779B97F4A7C15
+	return uint32(h>>32) & uint32(len(w.tabItems)-1)
+}
+
+// insert adds it to the current set's dedup table, reporting whether it
+// was absent. The table grows (rehashing only live-generation entries)
+// when half full.
+func (w *Workspace) insert(it item) bool {
+	if w.tabFill() {
+		w.growTable()
+	}
+	i := w.hash(it)
+	for {
+		if w.tabGen[i] != w.gen {
+			w.tabItems[i] = it
+			w.tabGen[i] = w.gen
+			return true
+		}
+		if w.tabItems[i] == it {
+			return false
+		}
+		i = (i + 1) & uint32(len(w.tabItems)-1)
+	}
+}
+
+// tabFill reports whether the current set's table occupancy crossed the
+// growth threshold (half the slots).
+func (w *Workspace) tabFill() bool {
+	// The current set's live entries are exactly the items added to it
+	// that did not come from the scanner; bounding by the set size is a
+	// cheap overestimate that keeps the load factor safe.
+	curStart := int(w.bounds[len(w.bounds)-1])
+	return len(w.items)-curStart >= len(w.tabItems)/2
+}
+
+func (w *Workspace) growTable() {
+	old := w.tabItems
+	oldGen := w.tabGen
+	w.tabItems = make([]item, 2*len(old))
+	w.tabGen = make([]uint32, 2*len(old))
+	for i, g := range oldGen {
+		if g != w.gen {
+			continue
+		}
+		it := old[i]
+		j := w.hash(it)
+		for w.tabGen[j] == w.gen {
+			j = (j + 1) & uint32(len(w.tabItems)-1)
+		}
+		w.tabItems[j] = it
+		w.tabGen[j] = w.gen
+	}
+}
+
+// add inserts it into the set under construction unless present.
+func (w *Workspace) add(it item) {
+	if w.insert(it) {
+		w.items = append(w.items, it)
+	}
+}
+
+// setSpan returns the [start, end) item-index span of finalized set i.
+func (w *Workspace) setSpan(i int) (int32, int32) {
+	return w.bounds[i], w.bounds[i+1]
+}
+
+// leoLookup resolves the Leo memo for completing sym whose origin is
+// finalized set i (entries per set are few; linear scan beats a map).
+func (w *Workspace) leoLookup(i int, sym grammar.Symbol) (item, bool) {
+	if i+1 >= len(w.leoBounds) {
+		return item{}, false
+	}
+	for _, e := range w.leo[w.leoBounds[i]:w.leoBounds[i+1]] {
+		if e.sym == sym {
+			return e.top, true
+		}
+	}
+	return item{}, false
+}
+
+// finalizeLeo computes set i's Leo entries: for every nonterminal A
+// with exactly one waiting item in the set, that item being penultimate
+// ([B ::= α·A]), the memo maps A to the (transitively chained) topmost
+// completed item — so a right-recursive completion cascade collapses to
+// one step per set instead of one per chain link.
+func (w *Workspace) finalizeLeo(pr *program, i int) {
+	start, end := w.bounds[len(w.bounds)-2], w.bounds[len(w.bounds)-1]
+	w.waitSyms = w.waitSyms[:0]
+	for j := start; j < end; j++ {
+		it := w.items[j]
+		r := pr.rules[it.rule]
+		if int(it.dot) == len(r.Rhs) {
+			continue
+		}
+		sym := r.Rhs[it.dot]
+		if !pr.isNT[sym] {
+			continue
+		}
+		if w.waitGen[sym] != w.gen {
+			w.waitGen[sym] = w.gen
+			w.waitCount[sym] = 0
+			w.waitSyms = append(w.waitSyms, sym)
+		}
+		w.waitCount[sym]++
+		w.waitItem[sym] = j
+	}
+	for _, sym := range w.waitSyms {
+		if w.waitCount[sym] != 1 {
+			continue
+		}
+		it := w.items[w.waitItem[sym]]
+		r := pr.rules[it.rule]
+		if int(it.dot) != len(r.Rhs)-1 {
+			continue
+		}
+		top := item{rule: it.rule, dot: it.dot + 1, origin: it.origin}
+		// Transitive chaining: if the waiter's own completion is itself
+		// Leo-deterministic, adopt its topmost item.
+		if chained, ok := w.leoLookup(int(it.origin), r.Lhs); ok {
+			top = chained
+		} else if int(it.origin) == i {
+			// An intra-set chain head installed earlier this pass.
+			for _, e := range w.leo[w.leoBounds[i]:] {
+				if e.sym == r.Lhs {
+					top = e.top
+					break
+				}
+			}
+		}
+		w.leo = append(w.leo, leoEntry{sym: sym, top: top})
+	}
+	w.leoBounds = append(w.leoBounds, int32(len(w.leo)))
+}
+
+// run executes the recognizer over input, leaving the chart in w for an
+// optional forest-building pass. Diagnostics match the LR engines'
+// shape.
+func (p *Parser) run(pr *program, input []grammar.Symbol, w *Workspace, buildTrees bool) Result {
+	n := len(input)
+	w.begin(n, pr.numSyms, buildTrees)
+	res := Result{ErrorPos: -1}
+	res.Stats.Sets = n + 1
+
+	for _, ri := range pr.startRules {
+		w.add(item{rule: ri, dot: 0, origin: 0})
+	}
+
+	last := 0 // last set that held items (failure diagnostics)
+	for i := 0; i <= n; i++ {
+		curStart := w.bounds[len(w.bounds)-1]
+		if int32(len(w.items)) > curStart {
+			last = i
+		}
+		for j := curStart; j < int32(len(w.items)); j++ {
+			it := w.items[j]
+			r := pr.rules[it.rule]
+			if int(it.dot) == len(r.Rhs) {
+				w.complete(pr, it, i, buildTrees, &res.Stats)
+				continue
+			}
+			sym := r.Rhs[it.dot]
+			if pr.isNT[sym] {
+				// Predictor.
+				for _, ri := range pr.rulesFor[sym] {
+					w.add(item{rule: ri, dot: 0, origin: int32(i)})
+				}
+				// Aycock–Horspool: a nullable nonterminal may be skipped
+				// outright.
+				if pr.nullable[sym] {
+					w.add(item{rule: it.rule, dot: it.dot + 1, origin: it.origin})
+				}
+			} else if i < n && input[i] == sym {
+				// Scanner: set i+1 additions are staged and need no
+				// dedup (see Workspace).
+				w.scanBuf = append(w.scanBuf, item{rule: it.rule, dot: it.dot + 1, origin: it.origin})
+			}
+		}
+		w.bounds = append(w.bounds, int32(len(w.items)))
+		if !buildTrees {
+			w.finalizeLeo(pr, i)
+		}
+		if i == n || (len(w.scanBuf) == 0 && int32(len(w.items)) == curStart) {
+			// Accept test, or no progress possible: later sets stay empty.
+			break
+		}
+		w.nextSet()
+	}
+	res.Stats.Items = len(w.items)
+
+	// Accept: a completed START rule spanning the whole input.
+	if len(w.bounds) == n+2 {
+		start, end := w.setSpan(n)
+		for j := start; j < end; j++ {
+			it := w.items[j]
+			if it.origin != 0 {
+				continue
+			}
+			r := pr.rules[it.rule]
+			if r.Lhs == pr.g.Start() && int(it.dot) == len(r.Rhs) {
+				res.Accepted = true
+				return res
+			}
+		}
+	}
+
+	// Rejected: the parse died at the last set still holding items — the
+	// token at that index could not be scanned by any of them (or, when
+	// every set is populated, the sentence stopped one derivation short).
+	res.ErrorPos = last
+	seenExp := map[grammar.Symbol]bool{}
+	start := w.bounds[last]
+	end := int32(len(w.items))
+	if last+1 < len(w.bounds) {
+		end = w.bounds[last+1]
+	}
+	for j := start; j < end; j++ {
+		it := w.items[j]
+		r := pr.rules[it.rule]
+		if int(it.dot) == len(r.Rhs) {
+			continue
+		}
+		sym := r.Rhs[it.dot]
+		if pr.isNT[sym] || seenExp[sym] {
+			continue
+		}
+		seenExp[sym] = true
+		res.Expected = append(res.Expected, sym)
+	}
+	sort.Slice(res.Expected, func(i, j int) bool { return res.Expected[i] < res.Expected[j] })
+	return res
+}
+
+// complete advances the items of the origin set waiting on the
+// completed rule's left-hand side — or, on the recognition path, jumps
+// straight to the memoized topmost item when the origin set's Leo entry
+// applies.
+func (w *Workspace) complete(pr *program, it item, i int, buildTrees bool, stats *Stats) {
+	r := pr.rules[it.rule]
+	o := int(it.origin)
+	if buildTrees {
+		w.comps = append(w.comps, compRec{lhs: r.Lhs, rule: it.rule, end: int32(i), next: w.compHead[o]})
+		w.compHead[o] = int32(len(w.comps) - 1)
+	} else if o < i {
+		if top, ok := w.leoLookup(o, r.Lhs); ok {
+			stats.Leo++
+			w.add(top)
+			return
+		}
+	}
+	start := w.bounds[o]
+	end := int32(len(w.items))
+	if o+1 < len(w.bounds) {
+		end = w.bounds[o+1]
+	}
+	for j := start; j < end; j++ {
+		wt := w.items[j]
+		wr := pr.rules[wt.rule]
+		if int(wt.dot) < len(wr.Rhs) && wr.Rhs[wt.dot] == r.Lhs {
+			w.add(item{rule: wt.rule, dot: wt.dot + 1, origin: wt.origin})
+		}
+	}
+}

@@ -1,42 +1,36 @@
 // Package earley implements Earley's general context-free parsing
-// algorithm [Ear70], the grammar-driven baseline of Fig 2.1 and the
+// algorithm [Ear70], the grammar-driven extreme of Fig 2.1 and the
 // comparison the paper's authors wanted for section 7 but omitted ("we
 // expect Earley's algorithm to have better generation performance, but a
 // much inferior parsing performance"). There is no generation phase at
-// all: every parse step recomputes its information from the grammar,
-// which is exactly what makes the algorithm flexible but slow.
+// all: every parse derives its information from the grammar, which is
+// exactly what makes the algorithm flexible — a rule update costs
+// nothing beyond the grammar mutation itself.
 //
 // The implementation uses the standard predictor/scanner/completer with
-// the Aycock–Horspool nullable-prediction fix, so epsilon rules are
-// handled correctly.
+// the Aycock–Horspool nullable-prediction fix (epsilon rules are handled
+// correctly), plus:
+//
+//   - a compiled grammar view (program) cached per grammar version, so
+//     steady-state parses touch flat arrays instead of maps;
+//   - a pooled, arena-backed chart (Workspace): dense per-set item
+//     storage with a generation-stamped dedup table, mirroring
+//     glr.Workspace — a warm parse allocates nothing in its token loop;
+//   - Leo's right-recursion optimization [Leo91] on the recognition
+//     path, making right-recursive grammars linear instead of quadratic;
+//   - forest construction: completed items are threaded back through an
+//     SPPF-style builder into internal/forest, producing trees
+//     node-identical to the LR engines' on unambiguous inputs and a
+//     packed forest on ambiguous ones.
 package earley
 
 import (
-	"fmt"
-	"sort"
+	"errors"
+	"sync/atomic"
 
+	"ipg/internal/forest"
 	"ipg/internal/grammar"
 )
-
-// item is a dotted rule with its origin position.
-type item struct {
-	rule   *grammar.Rule
-	dot    int
-	origin int
-}
-
-func (it item) key() string {
-	return fmt.Sprintf("%s@%d@%d", it.rule.Key(), it.dot, it.origin)
-}
-
-func (it item) atEnd() bool { return it.dot == it.rule.Len() }
-
-func (it item) afterDot() grammar.Symbol {
-	if it.atEnd() {
-		return grammar.NoSymbol
-	}
-	return it.rule.Rhs[it.dot]
-}
 
 // Stats counts parser work.
 type Stats struct {
@@ -44,129 +38,200 @@ type Stats struct {
 	Items int
 	// Sets is the number of item sets (input length + 1).
 	Sets int
+	// Leo counts completions short-circuited by the Leo right-recursion
+	// memo (recognition path only; tree building keeps the full chart).
+	Leo int
 }
 
-// Parser is an Earley recognizer for a grammar. It keeps no state between
-// parses and adapts to grammar modifications automatically — the
-// flexibility end of the Fig 2.1 spectrum.
+// Result is the outcome of one Earley parse, shaped like glr.Result so
+// the engine layer pays no translation cost.
+type Result struct {
+	// Accepted reports whether the input is a sentence of the grammar.
+	Accepted bool
+	// Root is the parse forest root (nil unless accepted and tree
+	// building was requested). Ambiguous inputs pack all derivations.
+	Root *forest.Node
+	// Forest is the forest Root lives in (nil when tree building is
+	// off).
+	Forest *forest.Forest
+	// ErrorPos is the index of the first token no item could scan
+	// (len(input) when the sentence is a proper prefix); -1 when
+	// accepted.
+	ErrorPos int
+	// Expected lists the terminals that would have allowed progress at
+	// ErrorPos (sorted by symbol).
+	Expected []grammar.Symbol
+	// Stats holds work counters.
+	Stats Stats
+}
+
+// Options configures one parse. The zero value recognizes only, with a
+// pooled workspace.
+type Options struct {
+	// BuildTrees requests forest construction. Tree-building parses keep
+	// the full chart (the Leo shortcut is off) and record completions.
+	BuildTrees bool
+	// Forest supplies an existing forest to build into (optional).
+	Forest *forest.Forest
+	// Workspace supplies reusable chart storage; nil borrows one from an
+	// internal sync.Pool. A workspace serves one parse at a time.
+	Workspace *Workspace
+}
+
+func (o *Options) trees() bool { return o != nil && o.BuildTrees }
+
+func (o *Options) forest() *forest.Forest {
+	if o != nil && o.Forest != nil {
+		return o.Forest
+	}
+	return forest.NewForest()
+}
+
+// ErrCyclic is returned by tree-building parses of cyclic grammars
+// (A ::= A): such grammars derive sentences in infinitely many ways, so
+// no finite packed forest exists. Recognition still works.
+var ErrCyclic = errors.New("earley: cyclic derivation (grammar not finitely ambiguous)")
+
+// Parser is an Earley parser for a grammar. It keeps no table: the
+// compiled grammar view is re-derived whenever the grammar's version
+// moves, so rule updates adapt automatically — the flexibility end of
+// the Fig 2.1 spectrum.
+//
+// Concurrent parses through one Parser are safe as long as grammar
+// mutations are excluded by the caller (the engine layer brackets them
+// with a reader/writer lock).
 type Parser struct {
-	g *grammar.Grammar
+	g    *grammar.Grammar
+	prog atomic.Pointer[program]
 }
 
-// New returns a parser for g. No precomputation is performed beyond the
-// nullable set, which is re-derived on every parse to preserve the
-// "grammar-driven" cost model.
+// New returns a parser for g. No precomputation is performed; the
+// compiled view is built on first use.
 func New(g *grammar.Grammar) *Parser { return &Parser{g: g} }
 
-// Recognize reports whether input (terminals, no end marker) is a
+// Parse runs one Earley parse. A trailing end marker ($) is accepted
+// and ignored, so EOF-terminated token streams pass through unchanged.
+func (p *Parser) Parse(input []grammar.Symbol, opts *Options) (Result, error) {
+	if n := len(input); n > 0 && input[n-1] == grammar.EOF {
+		input = input[:n-1]
+	}
+	w := opts.workspace()
+	if w.pooled {
+		defer releaseWorkspace(w)
+	}
+	pr := p.program()
+	buildTrees := opts.trees()
+
+	res := p.run(pr, input, w, buildTrees)
+	if !buildTrees {
+		return res, nil
+	}
+	res.Forest = opts.forest()
+	if !res.Accepted {
+		// Match the LL engine's shape: a tree-building rejection still
+		// carries its (empty) forest.
+		return res, nil
+	}
+	root, err := buildForest(pr, w, input, res.Forest)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Root = root
+	return res, nil
+}
+
+// Recognize reports whether input (terminals, end marker optional) is a
 // sentence of the grammar.
 func (p *Parser) Recognize(input []grammar.Symbol) bool {
-	ok, _ := p.recognize(input)
-	return ok
+	res, _ := p.Parse(input, nil)
+	return res.Accepted
 }
 
 // RecognizeStats is Recognize with work counters.
 func (p *Parser) RecognizeStats(input []grammar.Symbol) (bool, Stats) {
-	ok, stats, _, _ := p.recognizeDiag(input)
-	return ok, stats
+	res, _ := p.Parse(input, nil)
+	return res.Accepted, res.Stats
 }
 
-// RecognizeDiag reports acceptance plus a rejection diagnostic in the shape
-// the LR engines produce: errPos is the index of the first token no item
-// could scan (len(input) when the sentence is a proper prefix), and
-// expected lists the terminals that would have allowed progress there.
-// errPos is -1 for accepted inputs.
+// RecognizeDiag reports acceptance plus a rejection diagnostic in the
+// shape the LR engines produce: errPos is the index of the first token
+// no item could scan (len(input) when the sentence is a proper prefix),
+// and expected lists the terminals that would have allowed progress
+// there. errPos is -1 for accepted inputs.
 func (p *Parser) RecognizeDiag(input []grammar.Symbol) (ok bool, stats Stats, errPos int, expected []grammar.Symbol) {
-	return p.recognizeDiag(input)
+	res, _ := p.Parse(input, nil)
+	return res.Accepted, res.Stats, res.ErrorPos, res.Expected
 }
 
-func (p *Parser) recognize(input []grammar.Symbol) (bool, Stats) {
-	ok, stats, _, _ := p.recognizeDiag(input)
-	return ok, stats
+// program returns the compiled view of the current grammar, rebuilding
+// it when the grammar version has moved. The rebuild is proportional to
+// the grammar size — the "modification cost" of the Earley row in
+// Fig 2.1, paid once per update batch instead of per parse.
+func (p *Parser) program() *program {
+	if pr := p.prog.Load(); pr != nil && pr.version == p.g.Version() {
+		return pr
+	}
+	pr := compile(p.g)
+	p.prog.Store(pr)
+	return pr
 }
 
-func (p *Parser) recognizeDiag(input []grammar.Symbol) (bool, Stats, int, []grammar.Symbol) {
-	g := p.g
-	nullable := g.Nullable()
-	n := len(input)
+// program is the compiled grammar view: flat, symbol-indexed arrays
+// replacing the map lookups of the grammar on the parse hot path.
+type program struct {
+	g       *grammar.Grammar
+	version uint64
 
-	sets := make([][]item, n+1)
-	seen := make([]map[string]bool, n+1)
-	for i := range seen {
-		seen[i] = map[string]bool{}
+	// rules indexes every live rule; items refer to rules by index.
+	rules []*grammar.Rule
+	// rulesFor[sym] lists the indices of rules with left-hand side sym.
+	rulesFor [][]int32
+	// nullable[sym] reports whether sym derives the empty string.
+	nullable []bool
+	// isNT[sym] reports whether sym is a nonterminal.
+	isNT []bool
+	// startRules are the indices of the START rules.
+	startRules []int32
+	// minSuffix[r][q] is a lower bound on the token width of rule r's
+	// right-hand-side suffix Rhs[q:] (terminals count 1, nonterminals 0
+	// when nullable, else 1). The forest builder prunes split points
+	// whose remaining suffix cannot fit the remaining span — which also
+	// makes the cyclic-derivation check exact.
+	minSuffix [][]int32
+	// numSyms is the symbol-array length (max symbol id + 1).
+	numSyms int
+}
+
+func compile(g *grammar.Grammar) *program {
+	numSyms := g.Symbols().Len() + 1
+	pr := &program{
+		g:        g,
+		version:  g.Version(),
+		rules:    g.Rules(),
+		rulesFor: make([][]int32, numSyms),
+		nullable: make([]bool, numSyms),
+		isNT:     make([]bool, numSyms),
+		numSyms:  numSyms,
 	}
-	var stats Stats
-	stats.Sets = n + 1
-
-	add := func(i int, it item) {
-		k := it.key()
-		if seen[i][k] {
-			return
-		}
-		seen[i][k] = true
-		sets[i] = append(sets[i], it)
-		stats.Items++
+	for _, s := range g.Symbols().Nonterminals() {
+		pr.isNT[s] = true
 	}
-
-	for _, r := range g.RulesFor(g.Start()) {
-		add(0, item{rule: r, dot: 0, origin: 0})
+	for s := range g.Nullable() {
+		pr.nullable[s] = true
 	}
-
-	for i := 0; i <= n; i++ {
-		// Worklist: sets[i] grows while scanning it.
-		for j := 0; j < len(sets[i]); j++ {
-			it := sets[i][j]
-			switch sym := it.afterDot(); {
-			case sym == grammar.NoSymbol:
-				// Completer: advance items in the origin set waiting on
-				// this rule's left-hand side.
-				for _, wait := range sets[it.origin] {
-					if wait.afterDot() == it.rule.Lhs {
-						add(i, item{rule: wait.rule, dot: wait.dot + 1, origin: wait.origin})
-					}
-				}
-			case g.Symbols().Kind(sym) == grammar.Nonterminal:
-				// Predictor.
-				for _, r := range g.RulesFor(sym) {
-					add(i, item{rule: r, dot: 0, origin: i})
-				}
-				// Aycock–Horspool: a nullable nonterminal may be skipped
-				// outright.
-				if nullable.Has(sym) {
-					add(i, item{rule: it.rule, dot: it.dot + 1, origin: it.origin})
-				}
-			default:
-				// Scanner.
-				if i < n && input[i] == sym {
-					add(i+1, item{rule: it.rule, dot: it.dot + 1, origin: it.origin})
-				}
+	pr.minSuffix = make([][]int32, len(pr.rules))
+	for i, r := range pr.rules {
+		pr.rulesFor[r.Lhs] = append(pr.rulesFor[r.Lhs], int32(i))
+		suf := make([]int32, len(r.Rhs)+1)
+		for q := len(r.Rhs) - 1; q >= 0; q-- {
+			w := int32(1)
+			if s := r.Rhs[q]; pr.isNT[s] && pr.nullable[s] {
+				w = 0
 			}
+			suf[q] = suf[q+1] + w
 		}
+		pr.minSuffix[i] = suf
 	}
-
-	for _, it := range sets[n] {
-		if it.rule.Lhs == g.Start() && it.atEnd() && it.origin == 0 {
-			return true, stats, -1, nil
-		}
-	}
-
-	// Rejected: the parse died at the last set still holding items — the
-	// token at that index could not be scanned by any of them (or, when
-	// every set is populated, the sentence stopped one derivation short).
-	last := n
-	for last > 0 && len(sets[last]) == 0 {
-		last--
-	}
-	seenExp := map[grammar.Symbol]bool{}
-	var expected []grammar.Symbol
-	for _, it := range sets[last] {
-		sym := it.afterDot()
-		if sym == grammar.NoSymbol || g.Symbols().Kind(sym) != grammar.Terminal || seenExp[sym] {
-			continue
-		}
-		seenExp[sym] = true
-		expected = append(expected, sym)
-	}
-	sort.Slice(expected, func(i, j int) bool { return expected[i] < expected[j] })
-	return false, stats, last, expected
+	pr.startRules = pr.rulesFor[g.Start()]
+	return pr
 }

@@ -1,0 +1,175 @@
+package earley
+
+import (
+	"fmt"
+
+	"ipg/internal/forest"
+	"ipg/internal/grammar"
+)
+
+// Forest construction from a completed chart. The recognizer (run with
+// buildTrees) records every completed constituent as a (lhs, rule, end)
+// record on its origin set's list; the builder walks those records top
+// down from the START rules, enumerating for each rule application the
+// split points its right-hand side admits, memoizing one shared node
+// per (symbol, start, end) — the same sharing discipline as an SPPF.
+// Rule nodes are hash-consed by the target forest and alternatives are
+// packed into ambiguity nodes, so on unambiguous inputs the result is
+// node-identical to the tree the LR engines build, and on ambiguous
+// inputs derivation counts agree with the GSS engine's packed forest.
+
+// span identifies one derived constituent.
+type span struct {
+	sym  grammar.Symbol
+	i, j int32
+}
+
+type builder struct {
+	pr    *program
+	w     *Workspace
+	input []grammar.Symbol
+	f     *forest.Forest
+
+	memo   map[span]*forest.Node
+	onPath map[span]bool
+
+	// children is the reusable child-tuple stack of the split
+	// enumeration (forest.Rule copies tuples, so reuse is safe).
+	children []*forest.Node
+}
+
+// buildForest assembles the packed forest of an accepted parse. Like
+// the LR engines, the START rule itself is not represented: a unit
+// START application unwraps to its right-hand side's node, so all
+// engines render identical trees.
+func buildForest(pr *program, w *Workspace, input []grammar.Symbol, f *forest.Forest) (*forest.Node, error) {
+	b := &builder{
+		pr: pr, w: w, input: input, f: f,
+		memo:   map[span]*forest.Node{},
+		onPath: map[span]bool{},
+	}
+	n := int32(len(input))
+	start := pr.g.Start()
+	var alts []*forest.Node
+	for c := w.compHead[0]; c >= 0; c = w.comps[c].next {
+		rec := w.comps[c]
+		if rec.lhs != start || rec.end != n {
+			continue
+		}
+		r := pr.rules[rec.rule]
+		err := b.enum(rec.rule, 0, 0, n, func(children []*forest.Node) {
+			if len(children) == 1 {
+				alts = append(alts, children[0])
+				return
+			}
+			alts = append(alts, f.Rule(r, children))
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(alts) == 0 {
+		return nil, fmt.Errorf("earley: internal: accepted input yields no derivation")
+	}
+	return f.Ambiguity(alts...), nil
+}
+
+// buildSym returns the shared node deriving sym over input[i:j],
+// packing every recorded rule application as an alternative.
+func (b *builder) buildSym(sym grammar.Symbol, i, j int32) (*forest.Node, error) {
+	key := span{sym, i, j}
+	if n, ok := b.memo[key]; ok {
+		return n, nil
+	}
+	if b.onPath[key] {
+		// sym derives itself over the same span: infinitely many
+		// derivations, no finite forest.
+		return nil, ErrCyclic
+	}
+	b.onPath[key] = true
+	defer delete(b.onPath, key)
+
+	var alts []*forest.Node
+	for c := b.w.compHead[i]; c >= 0; c = b.w.comps[c].next {
+		rec := b.w.comps[c]
+		if rec.lhs != sym || rec.end != j {
+			continue
+		}
+		r := b.pr.rules[rec.rule]
+		err := b.enum(rec.rule, 0, i, j, func(children []*forest.Node) {
+			alts = append(alts, b.f.Rule(r, children))
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(alts) == 0 {
+		return nil, fmt.Errorf("earley: internal: no derivation for %s over [%d,%d)",
+			b.pr.g.Symbols().Name(sym), i, j)
+	}
+	node := b.f.Ambiguity(alts...)
+	b.memo[key] = node
+	return node, nil
+}
+
+// enum enumerates the child tuples of rule ri spanning input[k:j] with
+// the first q children already on the stack, emitting each complete
+// tuple. Terminals anchor split points exactly; nonterminal ends come
+// from the completion records of the child's origin set, pruned to
+// those that leave the remaining right-hand side room to fit.
+func (b *builder) enum(ri int32, q int, k, j int32, emit func([]*forest.Node)) error {
+	r := b.pr.rules[ri]
+	if q == len(r.Rhs) {
+		if k == j {
+			emit(b.children[len(b.children)-q:])
+		}
+		return nil
+	}
+	sym := r.Rhs[q]
+	if !b.pr.isNT[sym] {
+		if k < j && b.input[k] == sym {
+			b.children = append(b.children, b.f.Leaf(sym, int(k)))
+			err := b.enum(ri, q+1, k+1, j, emit)
+			b.children = b.children[:len(b.children)-1]
+			return err
+		}
+		return nil
+	}
+	// Distinct end positions for sym starting at k (several rules may
+	// complete the same span; each span is built—and memoized—once).
+	// The suffix bound keeps the walk on feasible splits only, which is
+	// also what makes an on-path revisit of (sym, span) a true cycle.
+	suffixMin := b.pr.minSuffix[ri][q+1]
+	for c := b.w.compHead[k]; c >= 0; c = b.w.comps[c].next {
+		rec := b.w.comps[c]
+		if rec.lhs != sym || rec.end+suffixMin > j {
+			continue
+		}
+		if b.seenEnd(k, sym, rec.end, c) {
+			continue
+		}
+		child, err := b.buildSym(sym, k, rec.end)
+		if err != nil {
+			return err
+		}
+		b.children = append(b.children, child)
+		err = b.enum(ri, q+1, rec.end, j, emit)
+		b.children = b.children[:len(b.children)-1]
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seenEnd reports whether an earlier record in origin set k's list
+// already covered (sym, end) — those duplicates would only rebuild the
+// same memoized child and re-emit identical tuples.
+func (b *builder) seenEnd(k int32, sym grammar.Symbol, end, upto int32) bool {
+	for c := b.w.compHead[k]; c >= 0 && c != upto; c = b.w.comps[c].next {
+		if rec := b.w.comps[c]; rec.lhs == sym && rec.end == end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+package earley
+
+import (
+	"testing"
+
+	"ipg/internal/fixtures"
+	"ipg/internal/forest"
+	"ipg/internal/glr"
+	"ipg/internal/grammar"
+	"ipg/internal/lr"
+)
+
+// FuzzEarleyParse differentially fuzzes the overhauled Earley engine
+// against the GSS parser on the ambiguous Booleans grammar: byte
+// strings map to token streams (including ill-formed ones), and for
+// every input the two general CF algorithms must agree on acceptance,
+// on the error position shape, and — for accepted inputs — on the
+// number of packed derivations. CI runs this for 60s per trigger and
+// uploads any crasher as an artifact.
+func FuzzEarleyParse(f *testing.F) {
+	f.Add("")
+	f.Add("\x00")
+	f.Add("\x00\x02\x01")
+	f.Add("\x00\x02\x01\x03\x00\x02\x00")
+	f.Add("\x02\x02\x02")
+	f.Add("\x00\x03\x01\x03\x00\x03\x01\x03\x00")
+
+	g := fixtures.Booleans()
+	terms := []grammar.Symbol{
+		g.Symbols().MustIntern("true", grammar.Terminal),
+		g.Symbols().MustIntern("false", grammar.Terminal),
+		g.Symbols().MustIntern("or", grammar.Terminal),
+		g.Symbols().MustIntern("and", grammar.Terminal),
+	}
+	auto := lr.New(g)
+	auto.GenerateAll()
+	p := New(g)
+
+	f.Fuzz(func(t *testing.T, s string) {
+		// Cap the token count: ambiguity is Catalan-many in the input
+		// length, and the fuzzer's job is shape coverage, not scale.
+		if len(s) > 16 {
+			s = s[:16]
+		}
+		toks := make([]grammar.Symbol, 0, len(s))
+		for i := 0; i < len(s); i++ {
+			toks = append(toks, terms[int(s[i])%len(terms)])
+		}
+
+		gRes, err := glr.Parse(auto, toks, &glr.Options{Engine: glr.GSS})
+		if err != nil {
+			t.Fatalf("glr: %v", err)
+		}
+		eRes, err := p.Parse(toks, &Options{BuildTrees: true})
+		if err != nil {
+			t.Fatalf("earley: %v", err)
+		}
+		if eRes.Accepted != gRes.Accepted {
+			t.Fatalf("acceptance diverges: earley=%v glr=%v on %s",
+				eRes.Accepted, gRes.Accepted, g.Symbols().NamesOf(toks))
+		}
+		if !eRes.Accepted {
+			if rec := p.Recognize(toks); rec {
+				t.Fatalf("recognize/parse diverge on %s", g.Symbols().NamesOf(toks))
+			}
+			return
+		}
+		eCount, err1 := forest.TreeCount(eRes.Root)
+		gCount, err2 := forest.TreeCount(gRes.Root)
+		if err1 != nil || err2 != nil || eCount != gCount {
+			t.Fatalf("derivation counts diverge on %s: earley %d (%v), glr %d (%v)",
+				g.Symbols().NamesOf(toks), eCount, err1, gCount, err2)
+		}
+		yield, err := forest.Yield(eRes.Root)
+		if err != nil {
+			t.Fatalf("yield: %v", err)
+		}
+		if len(yield) != len(toks) {
+			t.Fatalf("yield length %d != input length %d", len(yield), len(toks))
+		}
+		for i := range yield {
+			if yield[i] != toks[i] {
+				t.Fatalf("yield diverges from input at %d on %s", i, g.Symbols().NamesOf(toks))
+			}
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package earley
+
+// raceEnabled reports that the race detector is active; allocation
+// assertions are skipped because instrumentation changes sync.Pool
+// behavior and allocation counts.
+const raceEnabled = true

@@ -1,6 +1,6 @@
 // The allocation-regression gate: CI fails when a steady-state pass of
 // any engine workload allocates more than twice what the committed
-// BENCH_pr4.json baseline records. ns/op regressions are machine-
+// BENCH_pr5.json baseline records. ns/op regressions are machine-
 // dependent and belong to human review of the uploaded bench artifact;
 // allocs/op is deterministic enough to gate on.
 package engine_test
@@ -14,9 +14,25 @@ import (
 )
 
 // benchBaseline mirrors the committed report envelope (only the fields
-// the gate needs).
+// the gate needs). Baseline recursively embeds the previous PR's report
+// (ipg-bench -baseline), so before/after comparisons need no second
+// file.
 type benchBaseline struct {
-	Results []harness.EngineResult `json:"results"`
+	Results  []harness.EngineResult `json:"results"`
+	Baseline *benchBaseline         `json:"baseline,omitempty"`
+}
+
+func loadBaseline(t *testing.T) benchBaseline {
+	t.Helper()
+	buf, err := os.ReadFile("../../BENCH_pr5.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		t.Fatalf("BENCH_pr5.json: %v", err)
+	}
+	return base
 }
 
 func TestAllocRegressionGuard(t *testing.T) {
@@ -26,22 +42,25 @@ func TestAllocRegressionGuard(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation makes sync.Pool lossy; allocation counts are meaningless under -race")
 	}
-	buf, err := os.ReadFile("../../BENCH_pr4.json")
-	if err != nil {
-		t.Skipf("no committed baseline: %v", err)
-	}
-	var base benchBaseline
-	if err := json.Unmarshal(buf, &base); err != nil {
-		t.Fatalf("BENCH_pr4.json: %v", err)
-	}
+	base := loadBaseline(t)
 	baseline := map[[2]string]int64{}
+	earleyRows := 0
 	for _, r := range base.Results {
 		if r.Error == "" {
 			baseline[[2]string{r.Workload, r.Engine}] = r.AllocsPerOp
+			if r.Engine == "earley" {
+				earleyRows++
+			}
 		}
 	}
 	if len(baseline) == 0 {
-		t.Fatal("BENCH_pr4.json holds no usable baselines")
+		t.Fatal("BENCH_pr5.json holds no usable baselines")
+	}
+	// The chart overhaul put Earley under the same allocs/op discipline
+	// as the LR engines; the gate must cover its budget on every
+	// workload, not just the table-driven backends'.
+	if earleyRows < 4 {
+		t.Fatalf("BENCH_pr5.json covers only %d earley workloads, want all 4", earleyRows)
 	}
 
 	workloads, err := harness.EngineWorkloads("../../testdata")
@@ -65,5 +84,42 @@ func TestAllocRegressionGuard(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Fatal("no (workload, engine) pair matched the committed baseline")
+	}
+}
+
+// TestEarleyAllocDropVersusPR4 pins this PR's acceptance criterion in
+// the committed artifact itself: the pooled chart must cut Earley's
+// steady-state allocs/op at least 10× against the pre-overhaul
+// recognizer on the SDF workload (and every other workload), as
+// recorded in BENCH_pr5.json with the PR 4 report embedded as its
+// baseline.
+func TestEarleyAllocDropVersusPR4(t *testing.T) {
+	base := loadBaseline(t)
+	if base.Baseline == nil {
+		t.Fatal("BENCH_pr5.json embeds no PR 4 baseline (regenerate with ipg-bench -baseline BENCH_pr4.json)")
+	}
+	old := map[string]int64{}
+	for _, r := range base.Baseline.Results {
+		if r.Engine == "earley" && r.Error == "" {
+			old[r.Workload] = r.AllocsPerOp
+		}
+	}
+	checked := 0
+	for _, r := range base.Results {
+		if r.Engine != "earley" || r.Error != "" {
+			continue
+		}
+		before, ok := old[r.Workload]
+		if !ok {
+			continue
+		}
+		checked++
+		if r.AllocsPerOp*10 > before {
+			t.Errorf("%s/earley: %d allocs/op vs %d pre-overhaul — less than the required 10x drop",
+				r.Workload, r.AllocsPerOp, before)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no earley workload present in both PR 5 results and the embedded PR 4 baseline")
 	}
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ipg/internal/core"
 	"ipg/internal/grammar"
@@ -18,7 +19,12 @@ import (
 //   - LL(1) when LALR(1) conflicts but the prediction table is clean (a
 //     rare corner, present for symmetry with Fig 2.1);
 //   - lazy GLR otherwise — ambiguous or conflicted grammars keep the
-//     paper's machinery, including incremental updates and snapshots.
+//     paper's machinery, including incremental updates and snapshots;
+//   - Earley when the entry's recent update-rate/parse-rate ratio
+//     crosses the churn threshold: a tenant editing its grammar faster
+//     than it parses pays nothing per update on the table-free backend,
+//     and rejoins a table-driven one once parse traffic dominates again
+//     (hysteresis keeps the selection from flapping).
 //
 // After a rule update the grammar is re-probed: a modification can
 // move a grammar across the determinism boundary in either direction,
@@ -34,9 +40,12 @@ type Auto struct {
 	mu  sync.RWMutex
 	g   *grammar.Grammar
 	cur Engine
-	// reprobe marks that rule updates have outdated the selection; the
-	// next access re-probes once for the whole batch.
-	reprobe bool
+	// lastEarley is the most recent churn-selected Earley backend. A
+	// parse that fetched it via current() just before a reselection may
+	// still be reading the rule set (its compiled view is rebuilt from
+	// the grammar per version), so grammar mutations keep taking its
+	// write lock after it is retired.
+	lastEarley *Earley
 	// probeVersion is the grammar version the current selection was
 	// probed at; a reselection at the same version is a no-op (same
 	// grammar ⇒ same verdict ⇒ same table).
@@ -45,7 +54,37 @@ type Auto struct {
 	// entry's counters stay monotonic across reselections (a rule
 	// update must not reset parses_served to zero).
 	retired core.Counters
+
+	// reprobe marks that rule updates (or a churn-window shift) have
+	// outdated the selection; the next access re-probes once for the
+	// whole batch.
+	reprobe atomic.Bool
+	// churnSelected records that cur was selected by the churn
+	// heuristic, not a table probe. Written only under mu (reselect);
+	// read lock-free by the exit check in noteParse.
+	churnSelected atomic.Bool
+	// winUpdates/winParses are the decayed event window behind the
+	// churn heuristic: both halve when their sum crosses the window
+	// bound, so the ratio tracks recent traffic, not lifetime totals.
+	// The updates are racy by design — the window is a heuristic, and a
+	// smeared decay only shifts the crossing by a few events.
+	winUpdates atomic.Uint64
+	winParses  atomic.Uint64
 }
+
+const (
+	// churnWindow bounds the update/parse event window; crossing it
+	// halves both counters (an exponential decay in batches).
+	churnWindow = 256
+	// churnMinUpdates is the fewest windowed updates that can trigger
+	// the churn verdict, so a burst of two edits cannot flap the engine.
+	churnMinUpdates = 8
+	// churnEnterRatio switches to Earley when updates/(updates+parses)
+	// reaches it; churnExitRatio re-probes the tables once parse
+	// traffic pushes the ratio back down. The gap is the hysteresis.
+	churnEnterRatio = 0.5
+	churnExitRatio  = 0.25
+)
 
 // NewAuto probes g and returns the auto engine with its selection made.
 func NewAuto(g *grammar.Grammar, opts *Options) *Auto {
@@ -59,7 +98,9 @@ func NewAuto(g *grammar.Grammar, opts *Options) *Auto {
 }
 
 // Probe reports the backend auto-selection would pick for g and why,
-// without keeping the built engine — for diagnostics and docs.
+// without keeping the built engine — for diagnostics and docs. The
+// verdict is the table probe's; the churn heuristic needs live traffic
+// and never applies to a fresh engine.
 func Probe(g *grammar.Grammar) (Kind, string) {
 	e := probe(g, nil)
 	return e.Kind(), e.Reason()
@@ -89,20 +130,18 @@ func probe(g *grammar.Grammar, opts *Options) Engine {
 }
 
 // current returns the selected backend, re-probing first when rule
-// updates have outdated the selection.
+// updates or a churn-window shift have outdated the selection.
 func (a *Auto) current() Engine {
-	a.mu.RLock()
-	if !a.reprobe {
+	if !a.reprobe.Load() {
+		a.mu.RLock()
 		cur := a.cur
 		a.mu.RUnlock()
 		return cur
 	}
-	a.mu.RUnlock()
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.reprobe {
+	if a.reprobe.Swap(false) {
 		a.reselectLocked()
-		a.reprobe = false
 	}
 	return a.cur
 }
@@ -116,14 +155,41 @@ func (a *Auto) Reason() string { return a.current().Reason() }
 // Caps implements Engine: the selected backend's capabilities.
 func (a *Auto) Caps() Caps { return a.current().Caps() }
 
-// Parse implements Engine.
+// Parse implements Engine. Every parse feeds the churn window; while
+// the churn verdict holds, parse traffic pushing the window ratio under
+// the exit threshold schedules a table re-probe.
 func (a *Auto) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
+	a.noteParse()
 	return a.current().Parse(input, buildTrees)
 }
 
 // Recognize implements Engine.
 func (a *Auto) Recognize(input []grammar.Symbol) (bool, error) {
+	a.noteParse()
 	return a.current().Recognize(input)
+}
+
+func (a *Auto) noteParse() {
+	p := a.winParses.Add(1)
+	u := a.winUpdates.Load()
+	if u+p >= churnWindow {
+		// Best-effort exponential decay; racing halvings only smear the
+		// window by a few events.
+		a.winUpdates.Store(u / 2)
+		a.winParses.Store(p / 2)
+	}
+	if a.churnSelected.Load() && float64(u) < churnExitRatio*float64(u+p) {
+		a.reprobe.Store(true)
+	}
+}
+
+func (a *Auto) noteUpdate() {
+	u := a.winUpdates.Add(1)
+	p := a.winParses.Load()
+	if u+p >= churnWindow {
+		a.winUpdates.Store(u / 2)
+		a.winParses.Store(p / 2)
+	}
 }
 
 // Counters implements Engine: the live backend's counters plus those
@@ -140,8 +206,10 @@ func (a *Auto) TableInfo() TableInfo { return a.current().TableInfo() }
 
 // AddRule implements Engine: the rule is applied, then the grammar is
 // re-probed. The selection may change — e.g. a rule that introduces a
-// conflict moves a LALR(1) grammar onto the lazy-GLR path, and one that
-// breaks LL(1) moves an LL grammar to whichever backend now fits.
+// conflict moves a LALR(1) grammar onto the lazy-GLR path, one that
+// breaks LL(1) moves an LL grammar to whichever backend now fits, and a
+// run of updates outpacing parses moves any grammar onto the table-free
+// Earley path.
 //
 // How the rule is applied depends on the selected backend. GLR splices
 // through its generator (the incremental update is kept if GLR stays
@@ -155,6 +223,7 @@ func (a *Auto) TableInfo() TableInfo { return a.current().TableInfo() }
 func (a *Auto) AddRule(r *grammar.Rule) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	defer a.lockRetiredEarley()()
 	switch cur := a.cur.(type) {
 	case *GLR:
 		if err := cur.AddRule(r); err != nil {
@@ -169,8 +238,23 @@ func (a *Auto) AddRule(r *grammar.Rule) error {
 			return err
 		}
 	}
-	a.reprobe = true
+	a.noteUpdate()
+	a.reprobe.Store(true)
 	return nil
+}
+
+// lockRetiredEarley excludes in-flight parses on a churn-retired Earley
+// backend for the duration of a grammar mutation: such a parse may
+// recompile its grammar view at any moment, and the table-driven
+// current backend's own locking cannot see it. Returns the unlock (a
+// no-op when there is no retired Earley, or when the Earley backend is
+// current — its AddRule/DeleteRule takes the same lock itself).
+func (a *Auto) lockRetiredEarley() func() {
+	if e := a.lastEarley; e != nil && Engine(e) != a.cur {
+		e.mu.Lock()
+		return e.mu.Unlock
+	}
+	return func() {}
 }
 
 // DeleteRule implements Engine; see AddRule for the per-backend
@@ -178,6 +262,7 @@ func (a *Auto) AddRule(r *grammar.Rule) error {
 func (a *Auto) DeleteRule(r *grammar.Rule) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	defer a.lockRetiredEarley()()
 	switch cur := a.cur.(type) {
 	case *GLR:
 		if err := cur.DeleteRule(r); err != nil {
@@ -192,32 +277,56 @@ func (a *Auto) DeleteRule(r *grammar.Rule) error {
 			return err
 		}
 	}
-	a.reprobe = true
+	a.noteUpdate()
+	a.reprobe.Store(true)
 	return nil
 }
 
-// reselectLocked re-probes after one or more modifications. The probe
-// is skipped entirely when the grammar version has not moved since the
-// last one (nothing to relearn — and nothing to regenerate: the current
-// backend still holds the table that probe built). A warm lazy-GLR
-// table survives a GLR→GLR verdict (the incremental splice already
-// updated it); every other verdict adopts the freshly probed engine,
-// whose probe-built table reflects the updated grammar, and banks the
-// replaced backend's counters so the entry's totals stay monotonic.
+// reselectLocked re-probes after one or more modifications (or a churn
+// shift). The churn heuristic is consulted first: while recent updates
+// outnumber the enter threshold, the table-free Earley backend serves
+// the entry and no table is (re)generated at all. Otherwise the table
+// probe runs; it is skipped entirely when the grammar version has not
+// moved since the last one (nothing to relearn — and nothing to
+// regenerate: the current backend still holds the table that probe
+// built). A warm lazy-GLR table survives a GLR→GLR verdict (the
+// incremental splice already updated it); every other verdict adopts
+// the freshly probed engine, whose probe-built table reflects the
+// updated grammar, and banks the replaced backend's counters so the
+// entry's totals stay monotonic.
 func (a *Auto) reselectLocked() {
-	if v := a.g.Version(); v == a.probeVersion {
-		return
-	} else {
+	v := a.g.Version()
+	u, p := a.winUpdates.Load(), a.winParses.Load()
+	if u >= churnMinUpdates && float64(u) >= churnEnterRatio*float64(u+p) {
 		a.probeVersion = v
+		if _, isEarley := a.cur.(*Earley); !isEarley {
+			reason := fmt.Sprintf("auto: Earley — heavy rule churn (%d updates vs %d parses in window; table-free updates are free)", u, p)
+			e := NewEarley(a.g, reason)
+			a.retireTo(e)
+			a.lastEarley = e
+		}
+		a.churnSelected.Store(true)
+		return
 	}
+	wasChurn := a.churnSelected.Load()
+	a.churnSelected.Store(false)
+	if v == a.probeVersion && !wasChurn {
+		return
+	}
+	a.probeVersion = v
 	next := probe(a.g, &a.opts)
 	if _, stayGLR := a.cur.(*GLR); stayGLR && next.Kind() == KindGLR {
 		return
 	}
+	a.retireTo(next)
+}
+
+// retireTo banks the replaced backend's counters and installs next.
+// Replacing a backend discards its table wholesale; count those states
+// as invalidated so an auto entry reports the same regeneration cost an
+// explicit LALR/LL entry would.
+func (a *Auto) retireTo(next Engine) {
 	a.retired = a.retired.Plus(a.cur.Counters())
-	// Replacing a backend discards its table wholesale; count those
-	// states as invalidated so an auto entry reports the same
-	// regeneration cost an explicit LALR/LL entry would.
 	a.retired.StatesInvalidated += uint64(a.cur.TableInfo().States)
 	a.cur = next
 }

@@ -67,7 +67,7 @@ func BenchmarkEngines(b *testing.B) {
 			}
 			var tokens int
 			for _, toks := range workload {
-				tokens += len(toks)
+				tokens += harness.SentenceLen(toks)
 			}
 			// Warm the lazy table so the steady state is measured (the
 			// construct-vs-parse tradeoff is ipg-bench's subject).

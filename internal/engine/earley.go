@@ -10,11 +10,14 @@ import (
 	"ipg/internal/grammar"
 )
 
-// Earley is the table-free baseline behind the Engine interface: every
-// parse step recomputes its information from the grammar, so rule
-// updates cost nothing and acceptance covers every context-free grammar
-// — at the price of the slowest per-token work of all backends, and no
-// tree building. It is the flexibility end of the Fig 2.1 spectrum.
+// Earley is the table-free backend behind the Engine interface: every
+// parse derives its information from the grammar, so rule updates cost
+// nothing and acceptance covers every context-free grammar. Since the
+// chart overhaul it is a full peer of the other engines — Parse builds
+// packed forests node-identical to the LR engines' trees on unambiguous
+// inputs — while staying the flexibility end of the Fig 2.1 spectrum:
+// the per-token work is the highest of all backends, but a grammar
+// modification is free.
 type Earley struct {
 	reason string
 
@@ -24,7 +27,13 @@ type Earley struct {
 
 	parsesServed atomic.Uint64
 	items        atomic.Uint64
+	updates      atomic.Uint64
 }
+
+// earleyScratch pools the per-parse options value so the steady-state
+// recognition path allocates nothing; the chart itself is pooled inside
+// package earley.
+var earleyScratchPool = sync.Pool{New: func() any { return new(earley.Options) }}
 
 // NewEarley builds an Earley engine for g; no precomputation happens.
 func NewEarley(g *grammar.Grammar, reason string) *Earley {
@@ -40,20 +49,27 @@ func (e *Earley) Reason() string { return e.reason }
 // Caps implements Engine.
 func (e *Earley) Caps() Caps { return CapsOf(KindEarley) }
 
-// Parse implements Engine. Earley recognizes only: buildTrees is
-// ignored (Caps().Trees is false), so an accepted Result carries no
-// forest and the caller cannot learn the ambiguity degree — only
-// accept/reject plus the rejection diagnostic.
+// Parse implements Engine: one chart pass; with buildTrees the
+// completed items are threaded into a packed forest.
 func (e *Earley) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	e.parsesServed.Add(1)
-	ok, stats, errPos, expected := e.p.RecognizeDiag(input)
-	e.items.Add(uint64(stats.Items))
-	if ok {
-		return Result{Accepted: true, ErrorPos: -1}, nil
+	opts := earleyScratchPool.Get().(*earley.Options)
+	defer earleyScratchPool.Put(opts)
+	*opts = earley.Options{BuildTrees: buildTrees}
+	res, err := e.p.Parse(input, opts)
+	e.items.Add(uint64(res.Stats.Items))
+	if err != nil {
+		return Result{}, fmt.Errorf("engine: earley parse: %w", err)
 	}
-	return Result{ErrorPos: errPos, Expected: expected}, nil
+	return Result{
+		Accepted: res.Accepted,
+		Root:     res.Root,
+		Forest:   res.Forest,
+		ErrorPos: res.ErrorPos,
+		Expected: res.Expected,
+	}, nil
 }
 
 // Recognize implements Engine.
@@ -63,7 +79,9 @@ func (e *Earley) Recognize(input []grammar.Symbol) (bool, error) {
 }
 
 // Counters implements Engine: Earley items stand in for action calls —
-// both count the per-token table/grammar consultations.
+// both count the per-token table/grammar consultations. Rule updates
+// appear as StatesInvalidated-free modifications (nothing to
+// invalidate: there is no table).
 func (e *Earley) Counters() core.Counters {
 	return core.Counters{
 		ParsesServed: e.parsesServed.Load(),
@@ -71,17 +89,22 @@ func (e *Earley) Counters() core.Counters {
 	}
 }
 
+// Updates reports the number of rule updates applied to the engine.
+func (e *Earley) Updates() uint64 { return e.updates.Load() }
+
 // TableInfo implements Engine: there is no table at all.
 func (e *Earley) TableInfo() TableInfo { return TableInfo{} }
 
 // AddRule implements Engine: the grammar is the table, so the update is
-// complete the moment the rule is added.
+// complete the moment the rule is added (the compiled view refreshes on
+// the next parse).
 func (e *Earley) AddRule(r *grammar.Rule) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.g.AddRule(r); err != nil {
 		return fmt.Errorf("engine: earley add rule: %w", err)
 	}
+	e.updates.Add(1)
 	return nil
 }
 
@@ -92,5 +115,6 @@ func (e *Earley) DeleteRule(r *grammar.Rule) error {
 	if _, err := e.g.DeleteRule(r); err != nil {
 		return fmt.Errorf("engine: earley delete rule: %w", err)
 	}
+	e.updates.Add(1)
 	return nil
 }

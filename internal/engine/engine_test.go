@@ -306,3 +306,56 @@ func TestLLRollsBackConflictingRule(t *testing.T) {
 		t.Fatalf("engine broken after rollback: %v accepted=%v", err, res.Accepted)
 	}
 }
+
+func TestAutoPrefersEarleyUnderChurn(t *testing.T) {
+	g := loadFixture(t, "CalcDet.bnf")
+	e := NewAuto(g, nil)
+	if e.Kind() != KindLALR {
+		t.Fatalf("initial selection %v, want lalr", e.Kind())
+	}
+
+	// A burst of rule updates with no parse traffic between them: the
+	// update/parse ratio crosses the churn threshold and auto must stop
+	// regenerating tables, moving the entry to the table-free backend.
+	mod, err := grammar.Parse(`F ::= "id"`, g.Symbols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := mod.Rules()[0]
+	for i := 0; i < 6; i++ {
+		if err := e.AddRule(rule); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.DeleteRule(rule); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Kind() != KindEarley {
+		t.Fatalf("after heavy churn: selection %v, want earley (reason %q)", e.Kind(), e.Reason())
+	}
+	if !strings.Contains(e.Reason(), "churn") {
+		t.Errorf("selection reason %q does not explain the churn verdict", e.Reason())
+	}
+	// The churn-selected backend is a full engine: trees still build.
+	res, err := e.Parse(fixtures.Tokens(g, "n + n * n"), true)
+	if err != nil || !res.Accepted || res.Root == nil {
+		t.Fatalf("churn/earley parse: err=%v accepted=%v root=%v", err, res.Accepted, res.Root)
+	}
+	served := e.Counters().ParsesServed
+
+	// Parse traffic resumes: once the windowed ratio falls under the
+	// exit threshold, auto re-probes the tables and the deterministic
+	// grammar returns to the LALR fast path.
+	toks := fixtures.Tokens(g, "n + n")
+	for i := 0; i < 200; i++ {
+		if ok, err := e.Recognize(toks); err != nil || !ok {
+			t.Fatalf("parse %d under churn engine: %v %v", i, ok, err)
+		}
+	}
+	if e.Kind() != KindLALR {
+		t.Fatalf("after parse traffic resumed: selection %v, want lalr (reason %q)", e.Kind(), e.Reason())
+	}
+	if got := e.Counters().ParsesServed; got < served+200 {
+		t.Fatalf("ParsesServed regressed across churn exit: %d -> %d", served, got)
+	}
+}

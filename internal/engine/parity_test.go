@@ -10,8 +10,9 @@ import (
 
 // Cross-engine parity: the engines disagree about speed and capability,
 // never about the language. For deterministic fixtures all tree-building
-// engines must produce the identical (unique) tree; Earley must agree on
-// accept/reject everywhere, including the ambiguous SDF fixtures.
+// engines — since the chart overhaul that includes Earley — must produce
+// the identical (unique) tree; on ambiguous grammars the packed forests
+// must represent the same derivations, including the SDF fixtures.
 
 var paritySentences = []string{
 	"n",
@@ -80,12 +81,12 @@ func TestParityDeterministicFixturesIdenticalTrees(t *testing.T) {
 						fixture, input, llOK, llTree, glrOK, glrTree)
 				}
 			}
-			earleyOK, err := earleyEng.Recognize(fixtures.Tokens(g, input))
-			if err != nil {
-				t.Fatal(err)
-			}
-			if earleyOK != glrOK {
-				t.Errorf("%s %q: Earley accepts=%v, GLR accepts=%v", fixture, input, earleyOK, glrOK)
+			// Earley is tree-capable since the chart overhaul: full tree
+			// identity, not just accept/reject agreement.
+			earleyOK, earleyTree := treeOf(t, earleyEng, g, input)
+			if earleyOK != glrOK || earleyTree != glrTree {
+				t.Errorf("%s %q: Earley (ok=%v %s) != GLR (ok=%v %s)",
+					fixture, input, earleyOK, earleyTree, glrOK, glrTree)
 			}
 		}
 	}
@@ -107,12 +108,12 @@ func TestParityAmbiguousGrammarAcceptance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		earleyOK, err := earleyEng.Recognize(toks)
+		earleyRes, err := earleyEng.Parse(toks, true)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if glrRes.Accepted != lalrRes.Accepted || glrRes.Accepted != earleyOK {
-			t.Errorf("%q: GLR=%v LALR=%v Earley=%v", input, glrRes.Accepted, lalrRes.Accepted, earleyOK)
+		if glrRes.Accepted != lalrRes.Accepted || glrRes.Accepted != earleyRes.Accepted {
+			t.Errorf("%q: GLR=%v LALR=%v Earley=%v", input, glrRes.Accepted, lalrRes.Accepted, earleyRes.Accepted)
 		}
 		if glrRes.Root != nil && lalrRes.Root != nil {
 			nGLR, _ := forest.TreeCount(glrRes.Root)
@@ -120,7 +121,21 @@ func TestParityAmbiguousGrammarAcceptance(t *testing.T) {
 			if nGLR != nLALR {
 				t.Errorf("%q: GLR counts %d derivations, LALR-over-GSS %d", input, nGLR, nLALR)
 			}
+			// The packed Earley forest must represent exactly the same
+			// derivations, and render identically (alternatives sort).
+			if earleyRes.Root == nil {
+				t.Errorf("%q: Earley accepted without a forest", input)
+			} else {
+				nEarley, _ := forest.TreeCount(earleyRes.Root)
+				if nEarley != nGLR {
+					t.Errorf("%q: Earley packs %d derivations, GLR %d", input, nEarley, nGLR)
+				}
+				eStr := forest.String(earleyRes.Root, g.Symbols())
+				gStr := forest.String(glrRes.Root, g.Symbols())
+				if eStr != gStr {
+					t.Errorf("%q: packed forests render differently\nearley: %s\nglr:    %s", input, eStr, gStr)
+				}
+			}
 		}
 	}
 }
-

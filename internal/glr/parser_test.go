@@ -85,14 +85,14 @@ func TestFig42Trace(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{
-		"shift",                 // true
-		"reduce:B ::= true",     // on or
+		"shift",             // true
+		"reduce:B ::= true", // on or
 		"goto",
-		"shift",                 // or
-		"shift",                 // false
-		"reduce:B ::= false",    // on $
+		"shift",              // or
+		"shift",              // false
+		"reduce:B ::= false", // on $
 		"goto",
-		"reduce:B ::= B or B",   // on $
+		"reduce:B ::= B or B", // on $
 		"goto",
 		"accept",
 	}

@@ -70,7 +70,9 @@ func exprSentences(g *grammar.Grammar, n int) ([][]grammar.Symbol, error) {
 			}
 			toks = append(toks, s)
 		}
-		out = append(out, toks)
+		// EOF-terminated: steady-state engine passes measure the
+		// zero-copy warm path, exactly like service traffic.
+		out = append(out, append(toks, grammar.EOF))
 	}
 	return out, nil
 }
@@ -182,7 +184,7 @@ func calcSDFWorkload(dir string) (*grammar.Grammar, [][]grammar.Symbol, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		sentences = append(sentences, toks)
+		sentences = append(sentences, append(toks, grammar.EOF))
 	}
 	return conv.Grammar, sentences, nil
 }
@@ -201,6 +203,10 @@ type EngineResult struct {
 	// after a warm-up pass (so lazy tables are measured in steady
 	// state; warm-up cost is WarmParseNS).
 	ParseNS int64 `json:"parse_ns"`
+	// TreeParseNS is one steady-state pass with forest construction on
+	// — the cost of actually answering with trees. Zero for backends
+	// without tree building.
+	TreeParseNS int64 `json:"tree_parse_ns,omitempty"`
 	// WarmParseNS is the first, cold pass — for lazy GLR it includes
 	// the by-need table expansion.
 	WarmParseNS int64 `json:"warm_parse_ns"`
@@ -225,7 +231,7 @@ type EngineResult struct {
 
 // engineRun is one measured run of one backend over one workload.
 type engineRun struct {
-	construct, warm, parse time.Duration
+	construct, warm, parse, treeParse time.Duration
 	// allocs/bytes are the heap cost of one steady pass; latencies the
 	// per-sentence durations of that pass (sorted).
 	allocs, bytes int64
@@ -247,7 +253,7 @@ func RunEngines(workloads []EngineWorkload, repeat int) []EngineResult {
 	for _, w := range workloads {
 		tokens := 0
 		for _, s := range w.Sentences {
-			tokens += len(s)
+			tokens += SentenceLen(s)
 		}
 		for _, kind := range w.Kinds {
 			res := EngineResult{
@@ -265,6 +271,9 @@ func RunEngines(workloads []EngineWorkload, repeat int) []EngineResult {
 				}
 				if i == 0 || run.warm < time.Duration(res.WarmParseNS) {
 					res.WarmParseNS = run.warm.Nanoseconds()
+				}
+				if run.treeParse > 0 && (res.TreeParseNS == 0 || run.treeParse < time.Duration(res.TreeParseNS)) {
+					res.TreeParseNS = run.treeParse.Nanoseconds()
 				}
 				if i == 0 || run.parse < time.Duration(res.ParseNS) {
 					res.ParseNS = run.parse.Nanoseconds()
@@ -285,6 +294,17 @@ func RunEngines(workloads []EngineWorkload, repeat int) []EngineResult {
 		}
 	}
 	return out
+}
+
+// SentenceLen is the real token count of an (EOF-terminated) sentence:
+// the end marker is a framing convention, not input, so throughput and
+// size columns exclude it — keeping tokens/s comparable with reports
+// produced before the streams carried the marker.
+func SentenceLen(s []grammar.Symbol) int {
+	if n := len(s); n > 0 && s[n-1] == grammar.EOF {
+		return n - 1
+	}
+	return len(s)
 }
 
 // PercentileNS reads the q-th percentile (nearest rank) from sorted
@@ -334,6 +354,23 @@ func runEnginesOnce(kind engine.Kind, w EngineWorkload) (engineRun, error) {
 	}
 	if run.parse, err = pass(); err != nil {
 		return run, err
+	}
+
+	// Tree-building steady pass, where the backend supports it: since
+	// the Earley overhaul that is every engine except none — the column
+	// compares what answering with forests actually costs.
+	if e.Caps().Trees {
+		start := time.Now()
+		for _, s := range w.Sentences {
+			res, err := e.Parse(s, true)
+			if err != nil {
+				return run, err
+			}
+			if !res.Accepted {
+				return run, errors.New("harness: engine rejected a workload sentence (tree pass)")
+			}
+		}
+		run.treeParse = time.Since(start)
 	}
 
 	// Instrumented steady pass: per-sentence latencies plus the heap

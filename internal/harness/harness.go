@@ -26,7 +26,10 @@ import (
 type Input struct {
 	// Name is the file name (exp.sdf, Exam.sdf, SDF.sdf, ASF.sdf).
 	Name string
-	// Tokens is the in-memory token stream.
+	// Tokens is the in-memory token stream, EOF-terminated so a warm
+	// parse passes it to the engines without copying (glr.prepare
+	// appends nothing — the last steady-state allocation of the parse
+	// path).
 	Tokens []grammar.Symbol
 }
 
@@ -50,7 +53,7 @@ func LoadInputs(dir string, syms *grammar.SymbolTable) ([]Input, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
-		out = append(out, Input{Name: name, Tokens: toks})
+		out = append(out, Input{Name: name, Tokens: append(toks, grammar.EOF)})
 	}
 	return out, nil
 }

@@ -22,7 +22,9 @@ func TestLoadInputs(t *testing.T) {
 	if len(inputs) != 4 {
 		t.Fatalf("%d inputs, want 4", len(inputs))
 	}
-	want := map[string]int{"exp.sdf": 37, "Exam.sdf": 166, "SDF.sdf": 342, "ASF.sdf": 475}
+	// The Fig 7.1 sizes (37/166/342/475) plus the end marker: inputs are
+	// EOF-terminated so warm parses pass them through without copying.
+	want := map[string]int{"exp.sdf": 37 + 1, "Exam.sdf": 166 + 1, "SDF.sdf": 342 + 1, "ASF.sdf": 475 + 1}
 	for _, in := range inputs {
 		if len(in.Tokens) != want[in.Name] {
 			t.Errorf("%s: %d tokens, want %d", in.Name, len(in.Tokens), want[in.Name])

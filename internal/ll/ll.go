@@ -112,8 +112,13 @@ func (t *Table) ParseDiag(input []grammar.Symbol) (ok bool, errPos int, expected
 }
 
 // drive is the predictive-parse engine behind ParseForest and
-// ParseDiag. A nil forest skips tree building entirely.
+// ParseDiag. A nil forest skips tree building entirely. A trailing end
+// marker is accepted and ignored, so EOF-terminated token streams (the
+// service's zero-alloc convention) parse identically to bare ones.
 func (t *Table) drive(input []grammar.Symbol, f *forest.Forest) (ok bool, root *forest.Node, errPos int, expected []grammar.Symbol) {
+	if n := len(input); n > 0 && input[n-1] == grammar.EOF {
+		input = input[:n-1]
+	}
 
 	// Furthest-failure tracking: predictive parsing never backtracks, so
 	// the first failure is also the furthest, but tracking it uniformly

@@ -159,10 +159,10 @@ func TestParseForestDiagnostics(t *testing.T) {
 		input   string
 		wantPos int
 	}{
-		{"x +", 2},      // Etail needs a T after "+"
-		{"+ x", 0},      // no prediction for E on "+"
-		{"x x", 1},      // trailing garbage after a complete E
-		{"( x + x", 4},  // unclosed paren: end of input
+		{"x +", 2},     // Etail needs a T after "+"
+		{"+ x", 0},     // no prediction for E on "+"
+		{"x x", 1},     // trailing garbage after a complete E
+		{"( x + x", 4}, // unclosed paren: end of input
 	} {
 		toks := fixtures.Tokens(g, tc.input)
 		root, errPos, expected, err := tbl.ParseForest(toks, forest.NewForest())

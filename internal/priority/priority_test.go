@@ -4,8 +4,8 @@ import (
 	"errors"
 	"testing"
 
-	"ipg/internal/forest"
 	"ipg/internal/fixtures"
+	"ipg/internal/forest"
 	"ipg/internal/glr"
 	"ipg/internal/grammar"
 	"ipg/internal/lr"

@@ -5,9 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"ipg/internal/engine"
+	"ipg/internal/grammar"
 	"ipg/internal/snapshot"
 )
 
@@ -91,24 +93,42 @@ func TestAutoSelectionPerGrammar(t *testing.T) {
 	}
 }
 
-func TestEarleyRejectsFilteredSDFGrammar(t *testing.T) {
+func TestEarleyServesFilteredSDFGrammar(t *testing.T) {
 	// Calc.sdf carries priority/associativity filters, which need a
-	// parse forest to apply; a recognize-only backend would accept
-	// sentences every tree-building engine rejects, so the combination
-	// must be refused at registration.
+	// parse forest to apply. Before the chart overhaul Earley could only
+	// recognize, so this registration was refused; now it builds packed
+	// forests, the filters apply, and the disambiguated result must
+	// match the tree-building LR engines'.
 	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "Calc.sdf"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	r := New()
-	if _, err := r.Register("calc", Spec{Source: string(src), Form: FormSDF, Engine: engine.KindEarley}); err == nil {
-		t.Fatal("registered a priority-filtered SDF grammar under the Earley engine")
-	} else if !strings.Contains(err.Error(), "filters") {
-		t.Fatalf("rejection does not explain the filter gap: %v", err)
+	earleyEnt, err := r.Register("calc-earley", Spec{Source: string(src), Form: FormSDF, Engine: engine.KindEarley})
+	if err != nil {
+		t.Fatalf("register Calc.sdf under Earley: %v", err)
 	}
-	// The same grammar is fine on a tree-building backend.
-	if _, err := r.Register("calc", Spec{Source: string(src), Form: FormSDF, Engine: engine.KindLALR}); err != nil {
+	glrEnt, err := r.Register("calc-glr", Spec{Source: string(src), Form: FormSDF, Engine: engine.KindGLR})
+	if err != nil {
 		t.Fatal(err)
+	}
+	for _, input := range []string{"1 + 2 * 3", "4 * 5 + 6 * 7", "2 ^ 3 ^ 2", "1 - 2 - 3"} {
+		eRes, err := earleyEnt.ParseInput(input, true)
+		if err != nil {
+			t.Fatalf("earley ParseInput(%q): %v", input, err)
+		}
+		gRes, err := glrEnt.ParseInput(input, true)
+		if err != nil {
+			t.Fatalf("glr ParseInput(%q): %v", input, err)
+		}
+		if !eRes.Accepted || eRes.Trees != 1 {
+			t.Errorf("earley %q: accepted=%v trees=%d, want one filtered derivation", input, eRes.Accepted, eRes.Trees)
+		}
+		_, eTree := earleyEnt.Describe(eRes, true)
+		_, gTree := glrEnt.Describe(gRes, true)
+		if eTree != gTree {
+			t.Errorf("%q: filtered trees diverge\nearley: %s\nglr:    %s", input, eTree, gTree)
+		}
 	}
 }
 
@@ -290,5 +310,116 @@ func TestSnapshotGCSparesUnregisteredOfPreviousRun(t *testing.T) {
 	}
 	if !e.Stats().Restored {
 		t.Fatal("warm restart lost: entry generated cold")
+	}
+}
+
+// TestConcurrentEarleyParseAndModify is the -race stress test for the
+// overhauled Earley backend: parses sharing one entry (pooled charts,
+// version-stamped grammar recompiles) race rule updates. Every parse
+// must see a consistent rule set — before-or-after semantics, no torn
+// compiled view.
+func TestConcurrentEarleyParseAndModify(t *testing.T) {
+	r := New()
+	e, err := r.Register("bool", Spec{Source: `
+B ::= "true"
+B ::= "false"
+B ::= B "or" B
+B ::= B "and" B
+START ::= B
+`, Engine: engine.KindEarley})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := e.Tokens("true or false and true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddRulesText(`B ::= "not" B`); err != nil {
+		t.Fatal(err)
+	}
+	ext, err := e.Tokens("not true or false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.DeleteRulesText(`B ::= "not" B`); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	stop := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				res, err := e.Parse(base, j%2 == 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Accepted {
+					errs <- errorString("base sentence rejected")
+					return
+				}
+				// The extension toggles; either verdict is fine, but the
+				// parse must not error.
+				if _, err := e.Parse(ext, false); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := e.AddRulesText(`B ::= "not" B`); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := e.DeleteRulesText(`B ::= "not" B`); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestExplicitEndMarkerInput guards the EOF-termination convention: a
+// client that already supplies the documented "$" end marker must not
+// end up with a doubled marker (which the engines reject as mid-stream
+// EOF).
+func TestExplicitEndMarkerInput(t *testing.T) {
+	r := New()
+	for _, kind := range []engine.Kind{engine.KindGLR, engine.KindLALR, engine.KindEarley} {
+		e, err := r.Register("calc-"+kind.String(), Spec{Source: calcDetSrc, Engine: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.ParseInput("n + n $", false)
+		if err != nil || !res.Accepted {
+			t.Errorf("engine %v: ParseInput with explicit $: accepted=%v err=%v", kind, res.Accepted, err)
+		}
+		toks, err := e.Tokens("n + n $")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(toks); n != 4 || toks[n-1] != grammar.EOF {
+			t.Errorf("engine %v: Tokens with explicit $ = %v, want 4 symbols ending in EOF", kind, toks)
+		}
 	}
 }

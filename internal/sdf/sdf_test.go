@@ -125,9 +125,9 @@ func TestBootstrapRejectsBrokenInput(t *testing.T) {
 	g := MustBootstrapGrammar()
 	gen := core.New(g, nil)
 	for _, src := range []string{
-		"module X begin end",                            // missing end name
-		"module X context-free syntax functions end X",  // missing begin
-		"module X begin context-free syntax end X",      // missing functions
+		"module X begin end",                             // missing end name
+		"module X context-free syntax functions end X",   // missing begin
+		"module X begin context-free syntax end X",       // missing functions
 		"begin context-free syntax functions -> A end X", // missing module header
 	} {
 		toks, _, err := Tokenize(src, g.Symbols())

@@ -157,3 +157,49 @@ func TestSnapshotConflictForNonSnapshottableEngine(t *testing.T) {
 		t.Fatalf("snapshot of an LALR entry: status %d (%v), want 409", resp.StatusCode, body)
 	}
 }
+
+func TestEngineCapsAndChurnStatsOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := do(t, "PUT", ts.URL+"/v1/grammars/calc",
+		map[string]any{"source": calcDetSrc, "engine": "earley"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d (%v)", resp.StatusCode, body)
+	}
+
+	// Caps row: the overhauled Earley engine is tree-capable,
+	// ambiguity-capable and incremental, but has no lazy table and no
+	// snapshot support.
+	_, body = do(t, "GET", ts.URL+"/v1/grammars/calc", nil)
+	caps, ok := body["engine_caps"].(map[string]any)
+	if !ok {
+		t.Fatalf("entry stats carry no engine_caps: %v", body)
+	}
+	for field, want := range map[string]bool{
+		"trees": true, "ambiguity": true, "incremental": true,
+		"lazy": false, "snapshot": false,
+	} {
+		if caps[field] != want {
+			t.Errorf("engine_caps[%s] = %v, want %v", field, caps[field], want)
+		}
+	}
+
+	// Rule updates feed the per-entry update/parse ratio.
+	for _, input := range []string{"n + n", "n * n"} {
+		if resp, body := do(t, "POST", ts.URL+"/v1/grammars/calc/parse",
+			map[string]any{"input": input}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("parse: %d (%v)", resp.StatusCode, body)
+		}
+	}
+	if resp, body := do(t, "POST", ts.URL+"/v1/grammars/calc/rules",
+		map[string]any{"add": "F ::= \"id\""}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add rule: %d (%v)", resp.StatusCode, body)
+	}
+	_, body = do(t, "GET", ts.URL+"/v1/grammars/calc", nil)
+	if body["rule_updates_total"] != float64(1) {
+		t.Errorf("rule_updates_total = %v, want 1", body["rule_updates_total"])
+	}
+	ratio, _ := body["update_parse_ratio"].(float64)
+	if ratio <= 0 || ratio > 1 {
+		t.Errorf("update_parse_ratio = %v, want in (0, 1] after 1 update and 2 parses", body["update_parse_ratio"])
+	}
+}

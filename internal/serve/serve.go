@@ -217,6 +217,25 @@ func latencyOf(s registry.LatencySnapshot) *LatencyStats {
 	}
 }
 
+// EngineCaps is the JSON rendering of an engine capability row.
+type EngineCaps struct {
+	Trees       bool `json:"trees"`
+	Ambiguity   bool `json:"ambiguity"`
+	Incremental bool `json:"incremental"`
+	Lazy        bool `json:"lazy"`
+	Snapshot    bool `json:"snapshot"`
+}
+
+func capsOf(c engine.Caps) EngineCaps {
+	return EngineCaps{
+		Trees:       c.Trees,
+		Ambiguity:   c.Ambiguity,
+		Incremental: c.Incremental,
+		Lazy:        c.Lazy,
+		Snapshot:    c.Snapshot,
+	}
+}
+
 // EngineSelection is one entry's engine binding in /v1/stats.
 type EngineSelection struct {
 	Engine string `json:"engine"`
@@ -289,7 +308,15 @@ type EntryInfo struct {
 	Engine          string `json:"engine"`
 	EngineRequested string `json:"engine_requested,omitempty"`
 	EngineReason    string `json:"engine_reason,omitempty"`
-	States          int    `json:"states"`
+	// EngineCaps is the serving backend's capability row (the Caps
+	// matrix of internal/engine, per entry).
+	EngineCaps EngineCaps `json:"engine_caps"`
+	// RuleUpdates counts applied rule additions/deletions;
+	// UpdateParseRatio relates them to parses served — the signal that
+	// moves an auto entry onto (and off) the table-free Earley backend.
+	RuleUpdates      uint64  `json:"rule_updates_total"`
+	UpdateParseRatio float64 `json:"update_parse_ratio"`
+	States           int     `json:"states"`
 	// Complete/Initial/Dirty break down the shared table: how much has
 	// been generated by need, and how much a modification invalidated.
 	Complete int `json:"complete_states"`
@@ -325,6 +352,9 @@ func infoOf(st registry.Stats) EntryInfo {
 		Rules:               st.Rules,
 		Engine:              st.Engine.String(),
 		EngineReason:        st.EngineReason,
+		EngineCaps:          capsOf(st.Caps),
+		RuleUpdates:         st.RuleUpdates,
+		UpdateParseRatio:    st.UpdateParseRatio(),
 		States:              st.States,
 		Complete:            st.Complete,
 		Initial:             st.Initial,
