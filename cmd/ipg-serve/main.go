@@ -9,6 +9,8 @@
 //	ipg-serve [-addr :8080] [-grammar name=path ...] [-engine auto]
 //	          [-snapshot-dir dir] [-snapshot-interval 5m] [-snapshot-gzip]
 //	          [-max-parses n] [-max-forest-nodes n] [-rate r] [-burst n]
+//	          [-log-level info] [-log-json]
+//	          [-trace-sample n] [-trace-slow d] [-trace-ring n]
 //	          [-pprof]
 //
 // Each -grammar flag preloads a grammar file at startup (.sdf files load
@@ -28,15 +30,29 @@
 // (loading stays transparent either way).
 // -max-parses, -max-forest-nodes, -rate and -burst set per-grammar
 // admission control so a warm, heavily loaded service stays protected.
-// -pprof exposes the net/http/pprof endpoints under /debug/pprof/ so
-// production hot spots stay observable (off by default).
+//
+// Observability: the service always exposes GET /metrics (Prometheus
+// text format), /healthz (liveness) and /readyz (flips ready once the
+// preload — including snapshot restores — has published every table).
+// Logs are structured (log/slog); -log-level picks the floor (debug
+// logs every request) and -log-json switches to JSON lines.
+// -trace-sample N records every Nth parse's lifecycle — tokenize,
+// admit, engine select, table/chart work, forest build, render — into a
+// ring served by GET /v1/trace; -trace-slow D additionally retains
+// every parse at least that slow, sampled or not, and logs it.
+// -pprof exposes the net/http/pprof endpoints under /debug/pprof/ and
+// labels engine calls with (grammar, engine) pprof labels so profiles
+// attribute samples per tenant (off by default: labeling costs
+// per-parse allocations).
 // Example session:
 //
-//	ipg-serve -grammar calc=testdata/Calc.sdf -snapshot-dir /var/lib/ipg &
+//	ipg-serve -grammar calc=testdata/Calc.sdf -snapshot-dir /var/lib/ipg \
+//	          -trace-sample 100 -trace-slow 50ms &
 //	curl -s localhost:8080/v1/grammars
 //	curl -s -X POST localhost:8080/v1/grammars/calc/parse \
 //	     -d '{"input":"1 + 2 * 3","trees":true}'
-//	curl -s -X POST localhost:8080/v1/snapshot
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/v1/trace
 package main
 
 import (
@@ -44,7 +60,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -54,6 +70,7 @@ import (
 	"time"
 
 	"ipg/internal/engine"
+	"ipg/internal/obs"
 	"ipg/internal/registry"
 	"ipg/internal/serve"
 	"ipg/internal/snapshot"
@@ -73,7 +90,6 @@ func (g *grammarFlags) Set(v string) error {
 }
 
 func main() {
-	log.SetFlags(0)
 	addr := flag.String("addr", ":8080", "listen address")
 	var grammars grammarFlags
 	flag.Var(&grammars, "grammar", "preload a grammar: name=path (repeatable; .sdf = SDF definition)")
@@ -86,16 +102,34 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-grammar sustained parse requests per second; excess gets 429 (0 = unthrottled)")
 	burst := flag.Int("burst", 0, "per-grammar request burst on top of -rate (0 = max(1, rate))")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatchInputs, "max sentences per batch request")
-	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (CPU, heap, contention)")
+	logLevel := flag.String("log-level", "info", "log floor: debug (logs every request), info, warn or error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of key=value text")
+	traceSample := flag.Int("trace-sample", 0, "record every Nth parse's lifecycle span for GET /v1/trace (0 = sampling off)")
+	traceSlow := flag.Duration("trace-slow", 0, "always retain and log parses at least this slow, sampled or not (0 = off)")
+	traceRing := flag.Int("trace-ring", 0, "retained-span ring size (0 = default 256)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ and label engine calls with (grammar, engine) for per-tenant profiles")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	kind, err := engine.ParseKind(*engineName)
 	if err != nil {
-		log.Fatal(err)
+		fatal("bad -engine", "err", err)
 	}
 
 	reg := registry.New()
-	reg.SetLogf(log.Printf)
+	reg.SetLogger(logger)
+	reg.SetProfileLabels(*pprofOn)
 	reg.SetDefaultEngine(kind)
 	reg.SetDefaultLimits(registry.Limits{
 		MaxConcurrentParses: *maxParses,
@@ -106,18 +140,31 @@ func main() {
 	if *snapDir != "" {
 		store, err := snapshot.NewStore(*snapDir)
 		if err != nil {
-			log.Fatal(err)
+			fatal("snapshot store", "err", err)
 		}
 		store.SetGzip(*snapGzip)
 		reg.SetSnapshotStore(store)
-		log.Printf("snapshots enabled in %s (gzip=%v)", store.Dir(), *snapGzip)
+		logger.Info("snapshots enabled", "dir", store.Dir(), "gzip", *snapGzip)
+	}
+
+	front := serve.New(reg)
+	front.SetMaxBatchInputs(*maxBatch)
+	front.SetLogger(logger)
+	if *traceSample > 0 || *traceSlow > 0 {
+		front.SetTracer(obs.NewTracer(obs.TracerConfig{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+			RingSize:      *traceRing,
+		}))
+		logger.Info("parse tracing enabled",
+			"sample_every", *traceSample, "slow_threshold", *traceSlow)
 	}
 
 	for _, spec := range grammars {
 		name, path, _ := strings.Cut(spec, "=")
 		src, err := os.ReadFile(path)
 		if err != nil {
-			log.Fatalf("preload %s: %v", name, err)
+			fatal("preload failed", "grammar", name, "err", err)
 		}
 		form := registry.FormRules
 		if strings.HasSuffix(path, ".sdf") {
@@ -125,18 +172,19 @@ func main() {
 		}
 		e, err := reg.Register(name, registry.Spec{Source: string(src), Form: form})
 		if err != nil {
-			log.Fatalf("preload %s: %v", name, err)
+			fatal("preload failed", "grammar", name, "err", err)
 		}
 		how := "cold"
 		if e.Stats().Restored {
 			how = "warm (snapshot resumed)"
 		}
-		log.Printf("loaded grammar %q from %s [engine %s: %s; %s]",
-			name, path, e.EngineKind(), e.Stats().EngineReason, how)
+		logger.Info("loaded grammar", "grammar", name, "path", path,
+			"engine", e.EngineKind().String(), "reason", e.Stats().EngineReason, "table", how)
 	}
+	// Every preloaded table (including snapshot restores) is published:
+	// the instance can take traffic.
+	front.MarkReady()
 
-	front := serve.New(reg)
-	front.SetMaxBatchInputs(*maxBatch)
 	handler := front.Handler()
 	if *pprofOn {
 		// Mount the pprof handlers explicitly (not via the DefaultServeMux
@@ -151,7 +199,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		mux.Handle("/", handler)
 		handler = mux
-		log.Printf("pprof enabled under /debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/", "profile_labels", true)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -170,16 +218,16 @@ func main() {
 				select {
 				case <-ticker.C:
 					if n, err := reg.SnapshotAll(); err != nil {
-						log.Printf("periodic snapshot: saved %d: %v", n, err)
+						logger.Warn("periodic snapshot", "saved", n, "err", err)
 					} else if n > 0 {
-						log.Printf("periodic snapshot: saved %d grammars", n)
+						logger.Info("periodic snapshot", "saved", n)
 					}
 					// Compact: drop snapshot files whose grammars have
 					// been unregistered since the last pass.
 					if removed, err := reg.SnapshotGC(); err != nil {
-						log.Printf("snapshot gc: %v", err)
+						logger.Warn("snapshot gc", "err", err)
 					} else if len(removed) > 0 {
-						log.Printf("snapshot gc: removed %d stale files (%s)", len(removed), strings.Join(removed, ", "))
+						logger.Info("snapshot gc", "removed", removed)
 					}
 				case <-ctx.Done():
 					return
@@ -190,32 +238,32 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ipg-serve listening on %s (%d grammars)", *addr, reg.Len())
+		logger.Info("ipg-serve listening", "addr", *addr, "grammars", reg.Len())
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fatal("serve failed", "err", err)
 		}
 	case <-ctx.Done():
-		log.Print("shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Fatal(err)
+			fatal("shutdown", "err", err)
 		}
 		if *snapDir != "" {
 			if n, err := reg.SnapshotAll(); err != nil {
-				log.Printf("shutdown snapshot: saved %d: %v", n, err)
+				logger.Warn("shutdown snapshot", "saved", n, "err", err)
 			} else {
-				log.Printf("shutdown snapshot: saved %d grammars; restart resumes them", n)
+				logger.Info("shutdown snapshot: restart resumes the saved tables", "saved", n)
 			}
 			if removed, err := reg.SnapshotGC(); err != nil {
-				log.Printf("snapshot gc: %v", err)
+				logger.Warn("snapshot gc", "err", err)
 			} else if len(removed) > 0 {
-				log.Printf("snapshot gc: removed %d stale files", len(removed))
+				logger.Info("snapshot gc", "removed", removed)
 			}
 		}
 	}

@@ -30,6 +30,7 @@ import (
 
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
+	"ipg/internal/obs"
 )
 
 // Stats counts parser work.
@@ -76,6 +77,19 @@ type Options struct {
 	// Workspace supplies reusable chart storage; nil borrows one from an
 	// internal sync.Pool. A workspace serves one parse at a time.
 	Workspace *Workspace
+	// Trace, when non-nil, receives the parse's lifecycle stage
+	// timings: the chart pass under obs.StageTable and forest
+	// construction under obs.StageForest. The split lives here because
+	// only the parser knows where the chart ends and the forest walk
+	// begins; a nil Trace costs one pointer check.
+	Trace *obs.ParseTrace
+}
+
+func (o *Options) trace() *obs.ParseTrace {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
 }
 
 func (o *Options) trees() bool { return o != nil && o.BuildTrees }
@@ -121,8 +135,11 @@ func (p *Parser) Parse(input []grammar.Symbol, opts *Options) (Result, error) {
 	}
 	pr := p.program()
 	buildTrees := opts.trees()
+	tr := opts.trace()
 
+	tr.BeginStage(obs.StageTable)
 	res := p.run(pr, input, w, buildTrees)
+	tr.EndStage(obs.StageTable)
 	if !buildTrees {
 		return res, nil
 	}
@@ -132,7 +149,9 @@ func (p *Parser) Parse(input []grammar.Symbol, opts *Options) (Result, error) {
 		// carries its (empty) forest.
 		return res, nil
 	}
+	tr.BeginStage(obs.StageForest)
 	root, err := buildForest(pr, w, input, res.Forest)
+	tr.EndStage(obs.StageForest)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,6 +1,6 @@
 // The allocation-regression gate: CI fails when a steady-state pass of
 // any engine workload allocates more than twice what the committed
-// BENCH_pr5.json baseline records. ns/op regressions are machine-
+// BENCH_pr6.json baseline records. ns/op regressions are machine-
 // dependent and belong to human review of the uploaded bench artifact;
 // allocs/op is deterministic enough to gate on.
 package engine_test
@@ -22,15 +22,15 @@ type benchBaseline struct {
 	Baseline *benchBaseline         `json:"baseline,omitempty"`
 }
 
-func loadBaseline(t *testing.T) benchBaseline {
+func loadReport(t *testing.T, path string) benchBaseline {
 	t.Helper()
-	buf, err := os.ReadFile("../../BENCH_pr5.json")
+	buf, err := os.ReadFile(path)
 	if err != nil {
 		t.Skipf("no committed baseline: %v", err)
 	}
 	var base benchBaseline
 	if err := json.Unmarshal(buf, &base); err != nil {
-		t.Fatalf("BENCH_pr5.json: %v", err)
+		t.Fatalf("%s: %v", path, err)
 	}
 	return base
 }
@@ -42,7 +42,7 @@ func TestAllocRegressionGuard(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation makes sync.Pool lossy; allocation counts are meaningless under -race")
 	}
-	base := loadBaseline(t)
+	base := loadReport(t, "../../BENCH_pr6.json")
 	baseline := map[[2]string]int64{}
 	earleyRows := 0
 	for _, r := range base.Results {
@@ -54,13 +54,13 @@ func TestAllocRegressionGuard(t *testing.T) {
 		}
 	}
 	if len(baseline) == 0 {
-		t.Fatal("BENCH_pr5.json holds no usable baselines")
+		t.Fatal("BENCH_pr6.json holds no usable baselines")
 	}
 	// The chart overhaul put Earley under the same allocs/op discipline
 	// as the LR engines; the gate must cover its budget on every
 	// workload, not just the table-driven backends'.
 	if earleyRows < 4 {
-		t.Fatalf("BENCH_pr5.json covers only %d earley workloads, want all 4", earleyRows)
+		t.Fatalf("BENCH_pr6.json covers only %d earley workloads, want all 4", earleyRows)
 	}
 
 	workloads, err := harness.EngineWorkloads("../../testdata")
@@ -94,7 +94,7 @@ func TestAllocRegressionGuard(t *testing.T) {
 // recorded in BENCH_pr5.json with the PR 4 report embedded as its
 // baseline.
 func TestEarleyAllocDropVersusPR4(t *testing.T) {
-	base := loadBaseline(t)
+	base := loadReport(t, "../../BENCH_pr5.json")
 	if base.Baseline == nil {
 		t.Fatal("BENCH_pr5.json embeds no PR 4 baseline (regenerate with ipg-bench -baseline BENCH_pr4.json)")
 	}

@@ -57,8 +57,10 @@ type Auto struct {
 
 	// reprobe marks that rule updates (or a churn-window shift) have
 	// outdated the selection; the next access re-probes once for the
-	// whole batch.
-	reprobe atomic.Bool
+	// whole batch. reprobes counts consumed re-probe passes — the
+	// auto-reprobe event counter /metrics exposes per grammar.
+	reprobe  atomic.Bool
+	reprobes atomic.Uint64
 	// churnSelected records that cur was selected by the churn
 	// heuristic, not a table probe. Written only under mu (reselect);
 	// read lock-free by the exit check in noteParse.
@@ -295,6 +297,7 @@ func (a *Auto) DeleteRule(r *grammar.Rule) error {
 // updated grammar, and banks the replaced backend's counters so the
 // entry's totals stay monotonic.
 func (a *Auto) reselectLocked() {
+	a.reprobes.Add(1)
 	v := a.g.Version()
 	u, p := a.winUpdates.Load(), a.winParses.Load()
 	if u >= churnMinUpdates && float64(u) >= churnEnterRatio*float64(u+p) {
@@ -330,6 +333,11 @@ func (a *Auto) retireTo(next Engine) {
 	a.retired.StatesInvalidated += uint64(a.cur.TableInfo().States)
 	a.cur = next
 }
+
+// Reprobes counts the re-probe passes the engine has run after rule
+// updates or churn-window shifts — the observable cost of keeping the
+// selection honest, exposed as the auto_reprobes_total metric.
+func (a *Auto) Reprobes() uint64 { return a.reprobes.Load() }
 
 // snapshotter resolves the selected backend's snapshot capability (nil
 // when it has none — only the lazy-GLR table persists).

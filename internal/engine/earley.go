@@ -8,6 +8,7 @@ import (
 	"ipg/internal/core"
 	"ipg/internal/earley"
 	"ipg/internal/grammar"
+	"ipg/internal/obs"
 )
 
 // Earley is the table-free backend behind the Engine interface: every
@@ -52,12 +53,19 @@ func (e *Earley) Caps() Caps { return CapsOf(KindEarley) }
 // Parse implements Engine: one chart pass; with buildTrees the
 // completed items are threaded into a packed forest.
 func (e *Earley) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
+	return e.parseTraced(input, buildTrees, nil)
+}
+
+// parseTraced implements traceParser (see trace.go) by handing the
+// trace to the parser, which alone knows where the chart pass ends and
+// the forest walk begins. A nil trace records nothing.
+func (e *Earley) parseTraced(input []grammar.Symbol, buildTrees bool, tr *obs.ParseTrace) (Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	e.parsesServed.Add(1)
 	opts := earleyScratchPool.Get().(*earley.Options)
 	defer earleyScratchPool.Put(opts)
-	*opts = earley.Options{BuildTrees: buildTrees}
+	*opts = earley.Options{BuildTrees: buildTrees, Trace: tr}
 	res, err := e.p.Parse(input, opts)
 	e.items.Add(uint64(res.Stats.Items))
 	if err != nil {

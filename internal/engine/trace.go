@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"ipg/internal/grammar"
+	"ipg/internal/obs"
+)
+
+// (Earley's traced parse lives in earley.go next to its untraced twin.)
+
+// This file threads parse-lifecycle tracing (internal/obs) through the
+// engine layer. Engines that can attribute their internal phases
+// implement traceParser — Auto records engine selection, Earley splits
+// chart work from forest construction — and everything else falls back
+// to recording the whole parse as table/chart work, which is what an LR
+// drive is. A nil trace makes every path a no-op, so the zero-alloc
+// warm parse keeps these calls compiled in.
+
+// traceParser is the optional stage-attribution capability.
+type traceParser interface {
+	parseTraced(input []grammar.Symbol, buildTrees bool, tr *obs.ParseTrace) (Result, error)
+}
+
+// TraceParse parses through e recording lifecycle stages into tr (nil
+// tr traces nothing and costs only nil checks). It also stamps the
+// concrete backend kind onto the trace, so auto entries attribute spans
+// to the engine that actually served them.
+func TraceParse(e Engine, input []grammar.Symbol, buildTrees bool, tr *obs.ParseTrace) (Result, error) {
+	if tp, ok := e.(traceParser); ok {
+		return tp.parseTraced(input, buildTrees, tr)
+	}
+	tr.BeginStage(obs.StageTable)
+	res, err := e.Parse(input, buildTrees)
+	tr.EndStage(obs.StageTable)
+	return res, err
+}
+
+// parseTraced implements traceParser for Auto: selection (including any
+// deferred re-probe) is its own stage, then the chosen backend records
+// its phases and the span is attributed to it.
+func (a *Auto) parseTraced(input []grammar.Symbol, buildTrees bool, tr *obs.ParseTrace) (Result, error) {
+	a.noteParse()
+	tr.BeginStage(obs.StageSelect)
+	cur := a.current()
+	tr.EndStage(obs.StageSelect)
+	tr.SetEngine(cur.Kind().String())
+	return TraceParse(cur, input, buildTrees, tr)
+}

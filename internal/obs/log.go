@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// This file holds the structured-logging side of the observability
+// layer: slog construction from the cmds' -log-level/-log-json flags,
+// and request-ID generation/propagation so one request's log lines and
+// trace spans correlate from the HTTP handler down through the
+// registry and engine layers.
+
+// ParseLevel reads a -log-level flag value.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return slog.LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// NewLogger builds a slog.Logger writing to w at level, as JSON lines
+// when jsonFormat is set and logfmt-style text otherwise.
+func NewLogger(w io.Writer, level slog.Level, jsonFormat bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// NopLogger returns a logger that discards everything — the default
+// for library layers until a cmd wires a real one in.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+// reqSeq numbers requests within this process; reqEpoch distinguishes
+// processes so IDs do not collide across restarts.
+var (
+	reqSeq   atomic.Uint64
+	reqEpoch = func() string {
+		return strconv.FormatUint(uint64(time.Now().UnixNano())^uint64(os.Getpid())<<32, 36)
+	}()
+)
+
+// NewRequestID mints a process-unique request ID (epoch-seq).
+func NewRequestID() string {
+	return reqEpoch + "-" + strconv.FormatUint(reqSeq.Add(1), 10)
+}
+
+// requestIDKey is the context key for request-ID propagation.
+type requestIDKey struct{}
+
+// WithRequestID attaches a request ID to ctx; the serve layer calls it
+// in the HTTP middleware, and everything downstream (registry, engine,
+// pprof labels, trace spans) can read it back with RequestID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID attached to ctx ("" when none).
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// WithProfileLabels runs f with pprof labels attributing the work to a
+// grammar and engine, so CPU profiles of a multi-tenant service split
+// by tenant (`go tool pprof -tag_focus=grammar=calc ...`). Labeling
+// allocates a label set per call, so callers gate it behind a flag
+// (the registry's SetProfileLabels) and the zero-alloc warm path never
+// takes this function.
+func WithProfileLabels(ctx context.Context, grammar, engine string, f func()) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels("grammar", grammar, "engine", engine), func(context.Context) { f() })
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is a hand-rolled Prometheus text-format (version 0.0.4)
+// exposition writer — no client library, no external deps. The serve
+// layer's /metrics endpoint gathers its families on each scrape from
+// the registry's existing counters, so no instrumentation state lives
+// here: the writer only knows how to render families, samples, label
+// escaping and cumulative histogram series correctly.
+
+// MetricType is a Prometheus family type.
+type MetricType string
+
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// PromWriter streams Prometheus text format. Errors stick: the first
+// write failure is remembered and reported by Flush.
+type PromWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewPromWriter wraps w for exposition writing.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w)}
+}
+
+// Flush flushes buffered output and returns the first error seen.
+func (p *PromWriter) Flush() error {
+	if ferr := p.w.Flush(); p.err == nil {
+		p.err = ferr
+	}
+	return p.err
+}
+
+func (p *PromWriter) print(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = p.w.WriteString(s)
+}
+
+// Family starts a metric family: the # HELP and # TYPE header lines.
+// Samples for the family follow via the returned handle. Declare each
+// family exactly once per exposition.
+func (p *PromWriter) Family(name string, typ MetricType, help string) *Family {
+	p.print("# HELP " + name + " " + escapeHelp(help) + "\n")
+	p.print("# TYPE " + name + " " + string(typ) + "\n")
+	return &Family{p: p, name: name}
+}
+
+// Family is a declared metric family accepting samples.
+type Family struct {
+	p    *PromWriter
+	name string
+}
+
+// Sample emits one series sample. labels are alternating name/value
+// pairs ("grammar", "calc", "engine", "lalr").
+func (f *Family) Sample(value float64, labels ...string) {
+	f.p.print(f.name + renderLabels(labels) + " " + formatFloat(value) + "\n")
+}
+
+// Histogram emits one full histogram series: cumulative _bucket lines
+// for each upper bound (a final +Inf bucket is added), then _sum and
+// _count. bounds[i] is the inclusive upper bound of counts[i] (counts
+// are per-bucket, not cumulative; this method accumulates). Any
+// observations beyond the last bound belong in overflow.
+func (f *Family) Histogram(bounds []float64, counts []uint64, overflow uint64, sum float64, count uint64, labels ...string) {
+	var cum uint64
+	for i, bound := range bounds {
+		cum += counts[i]
+		f.p.print(f.name + `_bucket` + renderLabels(append(labels, "le", formatFloat(bound))) +
+			" " + strconv.FormatUint(cum, 10) + "\n")
+	}
+	f.p.print(f.name + `_bucket` + renderLabels(append(labels, "le", "+Inf")) +
+		" " + strconv.FormatUint(count, 10) + "\n")
+	f.p.print(f.name + "_sum" + renderLabels(labels) + " " + formatFloat(sum) + "\n")
+	f.p.print(f.name + "_count" + renderLabels(labels) + " " + strconv.FormatUint(count, 10) + "\n")
+	_ = overflow // implied by count - cum; the +Inf bucket covers it
+}
+
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline (quotes are
+// legal in help text).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

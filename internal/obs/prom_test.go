@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromWriterFamiliesAndEscaping(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	c := pw.Family("ipg_parses_served_total", TypeCounter, "Parses served.")
+	c.Sample(3, "grammar", "calc", "engine", "lalr")
+	c.Sample(0, "grammar", `we"ird\name`+"\n", "engine", "glr")
+	g := pw.Family("ipg_grammars", TypeGauge, `Registered grammars \ "live".`)
+	g.Sample(2.5)
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP ipg_parses_served_total Parses served.\n",
+		"# TYPE ipg_parses_served_total counter\n",
+		`ipg_parses_served_total{grammar="calc",engine="lalr"} 3` + "\n",
+		`ipg_parses_served_total{grammar="we\"ird\\name\n",engine="glr"} 0` + "\n",
+		"# TYPE ipg_grammars gauge\n",
+		`# HELP ipg_grammars Registered grammars \\ "live".` + "\n",
+		"ipg_grammars 2.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromWriterHistogramCumulative(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	h := pw.Family("ipg_parse_latency_seconds", TypeHistogram, "Latency.")
+	// Per-bucket counts 2,0,3 with bounds .001/.01/.1; 1 overflow obs.
+	h.Histogram([]float64{0.001, 0.01, 0.1}, []uint64{2, 0, 3}, 1, 0.42, 6, "grammar", "calc")
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`ipg_parse_latency_seconds_bucket{grammar="calc",le="0.001"} 2`,
+		`ipg_parse_latency_seconds_bucket{grammar="calc",le="0.01"} 2`,
+		`ipg_parse_latency_seconds_bucket{grammar="calc",le="0.1"} 5`,
+		`ipg_parse_latency_seconds_bucket{grammar="calc",le="+Inf"} 6`,
+		`ipg_parse_latency_seconds_sum{grammar="calc"} 0.42`,
+		`ipg_parse_latency_seconds_count{grammar="calc"} 6`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket lines must be monotonically non-decreasing and
+	// end at the count — the property Prometheus rejects violations of.
+	if strings.Count(out, "_bucket") != 4 {
+		t.Errorf("want 4 bucket lines, got %d:\n%s", strings.Count(out, "_bucket"), out)
+	}
+}

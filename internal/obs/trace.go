@@ -1,0 +1,394 @@
+// Package obs is the service's dependency-free observability layer:
+// Prometheus text-format metrics exposition (prom.go), pooled
+// sampling-gated parse-lifecycle tracing with lock-free ring retention
+// (this file), structured-logging helpers and request-ID propagation
+// (log.go), and pprof profile-label attribution (profile.go).
+//
+// The package sits below every other layer of the service — engine,
+// registry and serve all feed it — so it depends on nothing but the
+// standard library, and its hot-path surface is built to disappear:
+// a nil *ParseTrace is a valid no-op receiver for every method, and a
+// disabled Tracer hands out exactly that, so code under test for
+// 0 allocs/op can keep its trace calls compiled in.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one phase of the parse lifecycle. Stages accumulate:
+// a stage may be entered more than once per parse (e.g. StageForest is
+// fed by both the engine's forest construction and the registry's
+// disambiguation-filter pass) and the span records the total.
+type Stage uint8
+
+const (
+	// StageTokenize is scanning/token resolution (registry).
+	StageTokenize Stage = iota
+	// StageAdmit is admission control: rate limiting + concurrency gate.
+	StageAdmit
+	// StageSelect is engine selection — auto entries may re-probe here.
+	StageSelect
+	// StageTable is table/chart work: the LR drive or Earley chart pass,
+	// including lazy state expansion on the GLR path.
+	StageTable
+	// StageForest is forest construction, filtering and counting.
+	StageForest
+	// StageRender is human-facing rendering (expected sets, bracketed
+	// forests) in the serve layer.
+	StageRender
+
+	// NumStages is the number of lifecycle stages.
+	NumStages = 6
+)
+
+// String names the stage as used in trace JSON and logs.
+func (s Stage) String() string {
+	switch s {
+	case StageTokenize:
+		return "tokenize"
+	case StageAdmit:
+		return "admit"
+	case StageSelect:
+		return "select"
+	case StageTable:
+		return "table"
+	case StageForest:
+		return "forest"
+	case StageRender:
+		return "render"
+	default:
+		return "unknown"
+	}
+}
+
+// Span is one finished parse's lifecycle record as retained in a ring.
+type Span struct {
+	// ID is the capture sequence number (monotonic per tracer).
+	ID uint64
+	// RequestID is the HTTP request the parse served ("" outside HTTP).
+	RequestID string
+	// Grammar and Engine attribute the parse to a tenant and backend.
+	Grammar string
+	Engine  string
+	// Start is when the parse was admitted to tracing.
+	Start time.Time
+	// Total is the end-to-end duration; Stages breaks it down (stages
+	// not on the path — e.g. render for recognize-only parses — are 0;
+	// time between stages, like lock waits, appears only in Total).
+	Total  time.Duration
+	Stages [NumStages]time.Duration
+	// Accepted/Err describe the outcome.
+	Accepted bool
+	Err      string
+	// Sampled marks spans captured by the 1-in-N sampler; Slow marks
+	// spans retained because Total crossed the slow-parse threshold.
+	// A span can be both.
+	Sampled bool
+	Slow    bool
+}
+
+// ParseTrace is the in-flight recorder for one parse. Obtain one from
+// Tracer.StartParse, mark stages as the parse moves through its
+// lifecycle, and call Finish exactly once. All methods are safe on a
+// nil receiver (the disabled-tracing fast path), and traces are pooled,
+// so steady-state tracing performs no allocations.
+type ParseTrace struct {
+	tracer *Tracer
+	span   Span
+	starts [NumStages]time.Time
+	done   bool
+}
+
+// BeginStage marks entry into stage s. No-op on a nil trace.
+func (t *ParseTrace) BeginStage(s Stage) {
+	if t == nil {
+		return
+	}
+	t.starts[s] = time.Now()
+}
+
+// EndStage accumulates the time since the matching BeginStage into
+// stage s. Unmatched EndStage calls are ignored. No-op on a nil trace.
+func (t *ParseTrace) EndStage(s Stage) {
+	if t == nil || t.starts[s].IsZero() {
+		return
+	}
+	t.span.Stages[s] += time.Since(t.starts[s])
+	t.starts[s] = time.Time{}
+}
+
+// SetEngine records the concrete backend that served the parse (auto
+// entries call it after selection). No-op on a nil trace.
+func (t *ParseTrace) SetEngine(engine string) {
+	if t == nil {
+		return
+	}
+	t.span.Engine = engine
+}
+
+// Finish completes the trace: the span is retained in the sampled ring
+// when the parse was sampled, and in the slow ring when its total
+// crossed the tracer's slow-parse threshold (outliers are always kept,
+// sampled or not). It reports which retentions happened, so callers can
+// log slow parses. Safe on a nil trace (reports false, false) and
+// idempotent.
+func (t *ParseTrace) Finish(accepted bool, err error) (sampled, slow bool) {
+	_, sampled, slow = t.FinishSpan(accepted, err)
+	return sampled, slow
+}
+
+// FinishSpan is Finish for callers that need the completed span — e.g.
+// to log a slow parse with its stage breakdown. The returned copy is
+// taken before the trace goes back to its pool, so it stays valid after
+// the trace is reused. The zero Span is returned for nil or
+// already-finished traces.
+func (t *ParseTrace) FinishSpan(accepted bool, err error) (sp Span, sampled, slow bool) {
+	if t == nil || t.done {
+		return Span{}, false, false
+	}
+	t.done = true
+	t.span.Total = time.Since(t.span.Start)
+	t.span.Accepted = accepted
+	if err != nil {
+		t.span.Err = err.Error()
+	}
+	sampled, slow = t.tracer.finish(t)
+	// Copy before the pool put: once pooled, a concurrent StartParse may
+	// reuse t and overwrite the span.
+	sp = t.span
+	t.tracer.pool.Put(t)
+	return sp, sampled, slow
+}
+
+// TracerConfig configures a Tracer.
+type TracerConfig struct {
+	// SampleEvery captures every Nth parse into the sampled ring
+	// (1 = every parse, 0 = sampling off).
+	SampleEvery int
+	// SlowThreshold retains any parse at least this slow in the slow
+	// ring, sampled or not (0 = slow capture off).
+	SlowThreshold time.Duration
+	// RingSize bounds the sampled ring (default 256); the slow ring is
+	// a quarter of it (min 16).
+	RingSize int
+}
+
+// Tracer owns the parse-lifecycle capture machinery: a pool of
+// in-flight traces and two lock-free rings of finished spans (sampled
+// and slow). A Tracer with neither sampling nor a slow threshold is
+// disabled: StartParse returns nil and the parse path pays only a nil
+// check. A nil *Tracer behaves as disabled too.
+type Tracer struct {
+	sampleEvery atomic.Int64
+	slowNS      atomic.Int64
+
+	seq      atomic.Uint64 // StartParse admissions, drives the sampler
+	captured atomic.Uint64 // spans retained in the sampled ring
+	slowSeen atomic.Uint64 // spans retained in the slow ring
+	spanSeq  atomic.Uint64 // span ID source
+
+	sampled *spanRing
+	slow    *spanRing
+	pool    sync.Pool
+}
+
+// NewTracer builds a tracer from cfg.
+func NewTracer(cfg TracerConfig) *Tracer {
+	size := cfg.RingSize
+	if size <= 0 {
+		size = 256
+	}
+	slowSize := size / 4
+	if slowSize < 16 {
+		slowSize = 16
+	}
+	tr := &Tracer{
+		sampled: newSpanRing(size),
+		slow:    newSpanRing(slowSize),
+	}
+	tr.pool.New = func() any { return new(ParseTrace) }
+	tr.sampleEvery.Store(int64(cfg.SampleEvery))
+	tr.slowNS.Store(int64(cfg.SlowThreshold))
+	return tr
+}
+
+// Enabled reports whether any capture (sampling or slow retention) is
+// on. Safe on a nil tracer.
+func (tr *Tracer) Enabled() bool {
+	return tr != nil && (tr.sampleEvery.Load() > 0 || tr.slowNS.Load() > 0)
+}
+
+// SampleEvery returns the sampling period (0 = off). Safe on nil.
+func (tr *Tracer) SampleEvery() int {
+	if tr == nil {
+		return 0
+	}
+	return int(tr.sampleEvery.Load())
+}
+
+// SlowThreshold returns the slow-parse threshold (0 = off). Safe on nil.
+func (tr *Tracer) SlowThreshold() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	return time.Duration(tr.slowNS.Load())
+}
+
+// StartParse begins tracing one parse. It returns nil — the universal
+// no-op trace — when the tracer is disabled; otherwise the trace comes
+// from a pool, so the unsampled-but-measured path stays allocation-free
+// in steady state. Callers must Finish the returned trace.
+func (tr *Tracer) StartParse(grammar, engine, requestID string) *ParseTrace {
+	if !tr.Enabled() {
+		return nil
+	}
+	n := tr.seq.Add(1)
+	every := tr.sampleEvery.Load()
+	sampled := every > 0 && n%uint64(every) == 0
+	if !sampled && tr.slowNS.Load() <= 0 {
+		return nil
+	}
+	t := tr.pool.Get().(*ParseTrace)
+	*t = ParseTrace{tracer: tr}
+	t.span.Grammar = grammar
+	t.span.Engine = engine
+	t.span.RequestID = requestID
+	t.span.Sampled = sampled
+	t.span.Start = time.Now()
+	return t
+}
+
+func (tr *Tracer) finish(t *ParseTrace) (sampled, slow bool) {
+	sampled = t.span.Sampled
+	if slowNS := tr.slowNS.Load(); slowNS > 0 && int64(t.span.Total) >= slowNS {
+		slow = true
+	}
+	t.span.Slow = slow
+	if sampled || slow {
+		t.span.ID = tr.spanSeq.Add(1)
+	}
+	if sampled {
+		tr.captured.Add(1)
+		tr.sampled.put(&t.span)
+	}
+	if slow {
+		tr.slowSeen.Add(1)
+		tr.slow.put(&t.span)
+	}
+	// The caller (FinishSpan) returns t to the pool after copying the
+	// span out.
+	return sampled, slow
+}
+
+// TracerStats are the tracer's lifetime counters for stats endpoints
+// and /metrics.
+type TracerStats struct {
+	// Started counts parses admitted to StartParse while enabled.
+	Started uint64
+	// Captured counts spans retained in the sampled ring; Slow counts
+	// spans retained in the slow ring.
+	Captured uint64
+	Slow     uint64
+}
+
+// Stats samples the tracer's counters. Safe on a nil tracer.
+func (tr *Tracer) Stats() TracerStats {
+	if tr == nil {
+		return TracerStats{}
+	}
+	return TracerStats{
+		Started:  tr.seq.Load(),
+		Captured: tr.captured.Load(),
+		Slow:     tr.slowSeen.Load(),
+	}
+}
+
+// Snapshot returns the retained spans — slow outliers and sampled
+// parses merged, newest first — optionally filtered by grammar
+// (""  = all) and truncated to max (<=0 = no limit). Safe on a nil
+// tracer (returns nil).
+func (tr *Tracer) Snapshot(grammar string, max int) []Span {
+	if tr == nil {
+		return nil
+	}
+	spans := tr.slow.collect(nil)
+	spans = tr.sampled.collect(spans)
+	out := spans[:0]
+	seen := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		if grammar != "" && s.Grammar != grammar {
+			continue
+		}
+		if seen[s.ID] { // a span can sit in both rings
+			continue
+		}
+		seen[s.ID] = true
+		out = append(out, s)
+	}
+	// Newest first: IDs are monotonic. Insertion sort — rings are small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ID > out[j-1].ID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// spanRing is a fixed-capacity lock-free ring of spans. Writers claim a
+// slot round-robin and publish with a per-slot seqlock (odd sequence =
+// write in progress); readers retry slots caught mid-write. Writes are
+// rare (sampled or slow parses only), so contention on a slot is
+// effectively nil, but correctness never depends on that.
+type spanRing struct {
+	next  atomic.Uint64
+	slots []ringSlot
+}
+
+type ringSlot struct {
+	seq  atomic.Uint64
+	span Span
+}
+
+func newSpanRing(size int) *spanRing {
+	return &spanRing{slots: make([]ringSlot, size)}
+}
+
+func (r *spanRing) put(s *Span) {
+	slot := &r.slots[(r.next.Add(1)-1)%uint64(len(r.slots))]
+	for {
+		v := slot.seq.Load()
+		if v&1 == 0 && slot.seq.CompareAndSwap(v, v+1) {
+			break // claimed
+		}
+	}
+	slot.span = *s
+	slot.seq.Add(1)
+}
+
+// collect appends consistent copies of the ring's occupied slots to out.
+func (r *spanRing) collect(out []Span) []Span {
+	for i := range r.slots {
+		slot := &r.slots[i]
+		for {
+			v := slot.seq.Load()
+			if v == 0 { // never written
+				break
+			}
+			if v&1 == 1 { // mid-write; retry
+				continue
+			}
+			s := slot.span
+			if slot.seq.Load() == v {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package registry
+
+// raceEnabled mirrors the race build tag; see race_on_test.go.
+const raceEnabled = false

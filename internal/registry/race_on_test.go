@@ -1,0 +1,8 @@
+//go:build race
+
+package registry
+
+// raceEnabled reports that the race detector is active: sync.Pool
+// deliberately drops entries under race instrumentation, so pooled
+// parse scratch misses make allocation counts meaningless there.
+const raceEnabled = true

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"time"
 
 	"ipg/internal/engine"
 	"ipg/internal/lr"
+	"ipg/internal/obs"
 	"ipg/internal/snapshot"
 )
 
@@ -40,10 +42,10 @@ func (r *Registry) SetSnapshotStore(st *snapshot.Store) { r.store = st }
 // SnapshotStore returns the configured store (nil when disabled).
 func (r *Registry) SnapshotStore() *snapshot.Store { return r.store }
 
-// SetLogf directs the registry's snapshot decisions (restores,
-// fallbacks, failures) to f, e.g. log.Printf. Call before serving
+// SetLogger directs the registry's structured log events — snapshot
+// restores, fallbacks and failures — to l. Call before serving
 // traffic; nil silences logging.
-func (r *Registry) SetLogf(f func(format string, args ...any)) { r.logf = f }
+func (r *Registry) SetLogger(l *slog.Logger) { r.logger = l }
 
 // SetDefaultLimits sets the admission control applied to every spec
 // registered with zero Limits. Call before serving traffic.
@@ -60,10 +62,15 @@ func (r *Registry) SetDefaultEngine(k engine.Kind) { r.defaultEngine = k }
 // DefaultEngine returns the registry-wide default backend.
 func (r *Registry) DefaultEngine() engine.Kind { return r.defaultEngine }
 
-func (r *Registry) logfSafe(format string, args ...any) {
-	if r.logf != nil {
-		r.logf(format, args...)
+// log returns the configured logger, or a discard logger so call sites
+// never nil-check. Logging happens off the parse hot path only
+// (registration, snapshot writes), so the indirection costs nothing
+// where it matters.
+func (r *Registry) log() *slog.Logger {
+	if r.logger != nil {
+		return r.logger
 	}
+	return obs.NopLogger()
 }
 
 // tryRestore replaces the engine's cold table with one resumed from the
@@ -79,7 +86,8 @@ func (r *Registry) tryRestore(e *Entry) {
 	}
 	snapper := engine.SnapshotterOf(e.eng)
 	if snapper == nil {
-		r.logfSafe("snapshot %q: engine %s keeps no persistable table, generating cold", e.name, e.eng.Kind())
+		r.log().Info("snapshot skipped: engine keeps no persistable table, generating cold",
+			"grammar", e.name, "engine", e.eng.Kind().String())
 		return
 	}
 	snap, err := r.store.Load(e.name)
@@ -88,25 +96,29 @@ func (r *Registry) tryRestore(e *Entry) {
 		return
 	case err != nil:
 		r.snapErrors.Add(1)
-		r.logfSafe("snapshot %q: unreadable, generating cold: %v", e.name, err)
+		r.log().Warn("snapshot unreadable, generating cold",
+			"grammar", e.name, "err", err)
 		return
 	}
 	if err := snap.ValidateFor(e.g); err != nil {
 		r.snapRejected.Add(1)
-		r.logfSafe("snapshot %q: stale, generating cold: %v", e.name, err)
+		r.log().Warn("snapshot stale, generating cold",
+			"grammar", e.name, "err", err)
 		return
 	}
 	auto, err := lr.Load(e.g, bytes.NewReader(snap.Payload))
 	if err != nil {
 		r.snapErrors.Add(1)
-		r.logfSafe("snapshot %q: table load failed, generating cold: %v", e.name, err)
+		r.log().Warn("snapshot table load failed, generating cold",
+			"grammar", e.name, "err", err)
 		return
 	}
 	snapper.RestoreTable(auto)
 	e.restored = true
 	r.snapRestores.Add(1)
-	r.logfSafe("snapshot %q: resumed %d states (%d complete) from %s",
-		e.name, snap.States, snap.Complete, r.store.Path(e.name))
+	r.log().Info("snapshot resumed",
+		"grammar", e.name, "states", snap.States, "complete", snap.Complete,
+		"path", r.store.Path(e.name))
 }
 
 // Snapshot serializes the entry's table — lazy frontier, publication
@@ -170,6 +182,7 @@ func (r *Registry) snapshotEntry(e *Entry) (snapshot.Meta, error) {
 		return snapshot.Meta{}, err
 	}
 	r.snapSaves.Add(1)
+	e.snapSaves.Add(1)
 	r.lastSnapUnix.Store(time.Now().Unix())
 	return snap.Meta, nil
 }

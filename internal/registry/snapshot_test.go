@@ -2,7 +2,7 @@ package registry
 
 import (
 	"errors"
-	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
@@ -22,22 +22,27 @@ func newStoreT(t *testing.T) *snapshot.Store {
 	return st
 }
 
-// logCapture collects registry log lines for assertion.
+// logCapture collects registry log output for assertion: a locked
+// byte sink behind a slog text handler.
 type logCapture struct {
-	mu    sync.Mutex
-	lines []string
+	mu  sync.Mutex
+	buf strings.Builder
 }
 
-func (lc *logCapture) logf(format string, args ...any) {
+func (lc *logCapture) Write(p []byte) (int, error) {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
-	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+	return lc.buf.Write(p)
+}
+
+func (lc *logCapture) logger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(lc, nil))
 }
 
 func (lc *logCapture) joined() string {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
-	return strings.Join(lc.lines, "\n")
+	return lc.buf.String()
 }
 
 func TestSnapshotRestoreResumesWarm(t *testing.T) {
@@ -116,7 +121,7 @@ func TestCorruptSnapshotFallsBackCold(t *testing.T) {
 	var lc logCapture
 	r2 := New()
 	r2.SetSnapshotStore(store)
-	r2.SetLogf(lc.logf)
+	r2.SetLogger(lc.logger())
 	e, err := r2.Register("calc", Spec{Source: calcSDF})
 	if err != nil {
 		t.Fatalf("corrupt snapshot must not fail registration: %v", err)
@@ -152,7 +157,7 @@ func TestStaleSnapshotRejectedByHash(t *testing.T) {
 	var lc logCapture
 	r2 := New()
 	r2.SetSnapshotStore(store)
-	r2.SetLogf(lc.logf)
+	r2.SetLogger(lc.logger())
 	e, err := r2.Register("g", Spec{Source: boolSrc + "\nB ::= \"not\" B\n"})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"ipg/internal/obs"
+	"ipg/internal/registry"
+)
+
+// This file is the serve layer's observability surface: the /readyz
+// probe, the hand-rolled Prometheus /metrics exposition and the
+// /v1/trace span endpoints. All families are gathered on each scrape
+// from counters the registry and engines already keep — the exposition
+// holds no state of its own.
+
+// ---- readiness ----
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "starting",
+			"reason": "grammar preload (including snapshot restores) not complete",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ready",
+		"grammars": s.reg.Len(),
+	})
+}
+
+// ---- /metrics ----
+
+// latencyBoundsSeconds are the upper bounds of the registry's
+// power-of-two latency buckets, in seconds; the last registry bucket is
+// the overflow and maps to +Inf.
+var latencyBoundsSeconds = func() []float64 {
+	bounds := make([]float64, registry.LatencyBuckets-1)
+	for i := range bounds {
+		bounds[i] = float64(registry.LatencyBucketBound(i)) / 1e6
+	}
+	return bounds
+}()
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+
+	// Service-wide families.
+	p.Family("ipg_uptime_seconds", obs.TypeGauge,
+		"Seconds since the server started.").
+		Sample(time.Since(s.start).Seconds())
+	p.Family("ipg_grammars", obs.TypeGauge,
+		"Registered grammars currently being served.").
+		Sample(float64(s.reg.Len()))
+	p.Family("ipg_grammars_registered_total", obs.TypeCounter,
+		"Successful grammar registrations, including replacements.").
+		Sample(float64(s.reg.Registered()))
+	p.Family("ipg_http_requests_total", obs.TypeCounter,
+		"HTTP requests received.").
+		Sample(float64(s.requests.Load()))
+	p.Family("ipg_parse_requests_total", obs.TypeCounter,
+		"Single-sentence parse requests.").
+		Sample(float64(s.parses.Load()))
+	p.Family("ipg_batch_sentences_total", obs.TypeCounter,
+		"Sentences submitted through batch requests.").
+		Sample(float64(s.batchSentences.Load()))
+	p.Family("ipg_http_rejected_total", obs.TypeCounter,
+		"Requests refused with 429 by admission control (concurrency, forest size or rate limits).").
+		Sample(float64(s.rejected429.Load()))
+
+	// Per-grammar families, labeled by grammar and the concrete engine
+	// serving it. Every entry appears in every family, including at 0,
+	// so dashboards see series from the first scrape.
+	entries := s.reg.Entries()
+	stats := make([]registry.Stats, 0, len(entries))
+	for _, e := range entries {
+		stats = append(stats, e.Stats())
+	}
+	perGrammar := func(name string, typ obs.MetricType, help string, value func(registry.Stats) float64) {
+		f := p.Family(name, typ, help)
+		for _, st := range stats {
+			f.Sample(value(st), "grammar", st.Name, "engine", st.Engine.String())
+		}
+	}
+	perGrammar("ipg_parses_served_total", obs.TypeCounter,
+		"Parses served per grammar.",
+		func(st registry.Stats) float64 { return float64(st.Counters.ParsesServed) })
+	perGrammar("ipg_states_expanded_total", obs.TypeCounter,
+		"Lazy table states expanded by need (the paper's incremental generation).",
+		func(st registry.Stats) float64 { return float64(st.Counters.StatesExpanded) })
+	perGrammar("ipg_states_invalidated_total", obs.TypeCounter,
+		"Table states invalidated by grammar modifications.",
+		func(st registry.Stats) float64 { return float64(st.Counters.StatesInvalidated) })
+	perGrammar("ipg_action_calls_total", obs.TypeCounter,
+		"ACTION consultations (Earley items for the table-free backend).",
+		func(st registry.Stats) float64 { return float64(st.Counters.ActionCalls) })
+	perGrammar("ipg_rule_updates_total", obs.TypeCounter,
+		"Incremental rule additions and deletions applied.",
+		func(st registry.Stats) float64 { return float64(st.RuleUpdates) })
+	perGrammar("ipg_engine_reprobes_total", obs.TypeCounter,
+		"Auto-engine re-probe passes (churn-aware backend reselection).",
+		func(st registry.Stats) float64 { return float64(st.EngineReprobes) })
+	perGrammar("ipg_admission_rejected_total", obs.TypeCounter,
+		"Parses refused by the entry's admission control.",
+		func(st registry.Stats) float64 { return float64(st.AdmissionRejected) })
+	perGrammar("ipg_inflight_parses", obs.TypeGauge,
+		"Parses currently inside the entry.",
+		func(st registry.Stats) float64 { return float64(st.Inflight) })
+	perGrammar("ipg_grammar_snapshot_saves_total", obs.TypeCounter,
+		"Table snapshots persisted for the grammar.",
+		func(st registry.Stats) float64 { return float64(st.SnapshotSaves) })
+	perGrammar("ipg_grammar_restored_from_snapshot", obs.TypeGauge,
+		"1 when the entry resumed its table from a snapshot at registration.",
+		func(st registry.Stats) float64 {
+			if st.Restored {
+				return 1
+			}
+			return 0
+		})
+
+	states := p.Family("ipg_table_states", obs.TypeGauge,
+		"Parse-table states by class (complete, initial, dirty).")
+	for _, st := range stats {
+		labels := func(class string) []string {
+			return []string{"grammar", st.Name, "engine", st.Engine.String(), "class", class}
+		}
+		states.Sample(float64(st.Complete), labels("complete")...)
+		states.Sample(float64(st.Initial), labels("initial")...)
+		states.Sample(float64(st.Dirty), labels("dirty")...)
+	}
+
+	lat := p.Family("ipg_parse_latency_seconds", obs.TypeHistogram,
+		"Request latency per grammar (power-of-two buckets).")
+	for _, st := range stats {
+		h := st.Latency
+		lat.Histogram(latencyBoundsSeconds, h.Buckets[:len(latencyBoundsSeconds)],
+			h.Buckets[registry.LatencyBuckets-1], float64(h.SumUS)/1e6, h.Count,
+			"grammar", st.Name, "engine", st.Engine.String())
+	}
+
+	// Snapshot subsystem — emitted even when disabled, so scrapers can
+	// rely on the families existing.
+	snap := s.reg.SnapshotStats()
+	p.Family("ipg_snapshot_enabled", obs.TypeGauge,
+		"1 when a snapshot store is configured.").
+		Sample(boolGauge(snap.Enabled))
+	p.Family("ipg_snapshot_saves_total", obs.TypeCounter,
+		"Table snapshots written.").Sample(float64(snap.Saves))
+	p.Family("ipg_snapshot_restores_total", obs.TypeCounter,
+		"Warm table restores at registration.").Sample(float64(snap.Restores))
+	p.Family("ipg_snapshot_rejected_total", obs.TypeCounter,
+		"Snapshots rejected as stale (grammar hash mismatch).").Sample(float64(snap.Rejected))
+	p.Family("ipg_snapshot_errors_total", obs.TypeCounter,
+		"Snapshot read/write failures.").Sample(float64(snap.Errors))
+
+	// Trace subsystem.
+	ts := s.tracer.Stats()
+	p.Family("ipg_trace_enabled", obs.TypeGauge,
+		"1 when parse-lifecycle tracing (sampling or slow capture) is on.").
+		Sample(boolGauge(s.tracer.Enabled()))
+	p.Family("ipg_trace_started_total", obs.TypeCounter,
+		"Parses considered by the tracer while enabled.").Sample(float64(ts.Started))
+	p.Family("ipg_trace_sampled_total", obs.TypeCounter,
+		"Spans retained by the 1-in-N sampler.").Sample(float64(ts.Captured))
+	p.Family("ipg_trace_slow_total", obs.TypeCounter,
+		"Spans retained for crossing the slow-parse threshold.").Sample(float64(ts.Slow))
+
+	if err := p.Flush(); err != nil {
+		s.log().Warn("metrics exposition failed", "err", err)
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---- /v1/trace ----
+
+// SpanInfo is the JSON rendering of one retained parse-lifecycle span.
+type SpanInfo struct {
+	ID        uint64 `json:"id"`
+	RequestID string `json:"request_id,omitempty"`
+	Grammar   string `json:"grammar"`
+	Engine    string `json:"engine"`
+	Start     string `json:"start"`
+	TotalUS   int64  `json:"total_us"`
+	// Stages breaks the total down by lifecycle stage, in microseconds;
+	// stages the parse never entered are omitted. Time between stages
+	// (lock waits, scheduling) appears only in the total.
+	Stages   map[string]int64 `json:"stages_us,omitempty"`
+	Accepted bool             `json:"accepted"`
+	Error    string           `json:"error,omitempty"`
+	// Sampled marks spans the 1-in-N sampler kept; Slow marks
+	// slow-threshold outliers. A span can be both.
+	Sampled bool `json:"sampled"`
+	Slow    bool `json:"slow"`
+}
+
+// TraceResponse is the GET /v1/trace (and per-grammar) response.
+type TraceResponse struct {
+	// Enabled reports whether any capture is on; SampleEvery and
+	// SlowThresholdUS echo the tracer configuration.
+	Enabled         bool  `json:"enabled"`
+	SampleEvery     int   `json:"sample_every,omitempty"`
+	SlowThresholdUS int64 `json:"slow_threshold_us,omitempty"`
+	// Started/Sampled/Slow are the tracer's lifetime counters.
+	Started uint64 `json:"started_total"`
+	Sampled uint64 `json:"sampled_total"`
+	Slow    uint64 `json:"slow_total"`
+	// Spans are the retained spans, newest first.
+	Spans []SpanInfo `json:"spans"`
+}
+
+func spanInfoOf(sp obs.Span) SpanInfo {
+	info := SpanInfo{
+		ID:        sp.ID,
+		RequestID: sp.RequestID,
+		Grammar:   sp.Grammar,
+		Engine:    sp.Engine,
+		Start:     sp.Start.UTC().Format(time.RFC3339Nano),
+		TotalUS:   sp.Total.Microseconds(),
+		Accepted:  sp.Accepted,
+		Error:     sp.Err,
+		Sampled:   sp.Sampled,
+		Slow:      sp.Slow,
+	}
+	for st, d := range sp.Stages {
+		if d > 0 {
+			if info.Stages == nil {
+				info.Stages = make(map[string]int64, len(sp.Stages))
+			}
+			info.Stages[obs.Stage(st).String()] = d.Microseconds()
+		}
+	}
+	return info
+}
+
+// traceMaxSpans bounds one trace response unless ?max= narrows it.
+const traceMaxSpans = 256
+
+func (s *Server) writeTrace(w http.ResponseWriter, r *http.Request, grammar string) {
+	max := traceMaxSpans
+	if v := r.URL.Query().Get("max"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 && n < traceMaxSpans {
+			max = n
+		}
+	}
+	out := TraceResponse{
+		Enabled:         s.tracer.Enabled(),
+		SampleEvery:     s.tracer.SampleEvery(),
+		SlowThresholdUS: s.tracer.SlowThreshold().Microseconds(),
+		Spans:           []SpanInfo{},
+	}
+	ts := s.tracer.Stats()
+	out.Started, out.Sampled, out.Slow = ts.Started, ts.Captured, ts.Slow
+	for _, sp := range s.tracer.Snapshot(grammar, max) {
+		out.Spans = append(out.Spans, spanInfoOf(sp))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.writeTrace(w, r, "")
+}
+
+func (s *Server) handleGrammarTrace(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	s.writeTrace(w, r, e.Name())
+}

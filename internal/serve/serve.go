@@ -4,10 +4,13 @@
 // tables — register or update grammars, parse single sentences, and
 // batch-parse many sentences fanned out across a worker pool.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	GET    /healthz                     liveness probe
+//	GET    /readyz                      readiness probe (503 until MarkReady)
+//	GET    /metrics                     Prometheus text exposition
 //	GET    /v1/stats                    service-wide counters
+//	GET    /v1/trace                    recent parse-lifecycle spans
 //	GET    /v1/grammars                 list entries with table stats
 //	PUT    /v1/grammars/{name}          register or replace a grammar
 //	GET    /v1/grammars/{name}          one entry's stats
@@ -16,6 +19,7 @@
 //	POST   /v1/grammars/{name}/batch    parse many sentences concurrently
 //	POST   /v1/grammars/{name}/rules    add/delete rules incrementally
 //	POST   /v1/grammars/{name}/snapshot persist one entry's table
+//	GET    /v1/grammars/{name}/trace    one grammar's recent spans
 //	POST   /v1/snapshot                 persist every entry's table
 //
 // A registration may pick its parsing backend ("engine": glr, lalr,
@@ -33,9 +37,11 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -43,6 +49,7 @@ import (
 	"time"
 
 	"ipg/internal/engine"
+	"ipg/internal/obs"
 	"ipg/internal/registry"
 )
 
@@ -55,6 +62,15 @@ type Server struct {
 
 	// maxBatch bounds POST .../batch input counts (SetMaxBatchInputs).
 	maxBatch int
+
+	// tracer records parse-lifecycle spans (nil = tracing off); logger
+	// is the structured request log (nil = silent). Configure with
+	// SetTracer/SetLogger before serving traffic.
+	tracer *obs.Tracer
+	logger *slog.Logger
+	// ready gates /readyz: false until MarkReady, which the binary calls
+	// once preloading (including snapshot restores) is complete.
+	ready atomic.Bool
 
 	requests       atomic.Uint64
 	parses         atomic.Uint64
@@ -73,7 +89,11 @@ func New(reg *registry.Registry) *Server {
 	}
 	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), maxBatch: DefaultMaxBatchInputs}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/grammars/{name}/trace", s.handleGrammarTrace)
 	s.mux.HandleFunc("GET /v1/grammars", s.handleList)
 	s.mux.HandleFunc("PUT /v1/grammars/{name}", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/grammars/{name}", s.handleInfo)
@@ -98,11 +118,63 @@ func (s *Server) SetMaxBatchInputs(n int) {
 // Registry exposes the backing registry (for preloading grammars).
 func (s *Server) Registry() *registry.Registry { return s.reg }
 
-// Handler returns the HTTP handler with request counting.
+// SetTracer installs the parse-lifecycle tracer (nil disables tracing).
+// Call before serving traffic.
+func (s *Server) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// SetLogger installs the structured request log (nil silences it). Call
+// before serving traffic.
+func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
+
+// log returns the configured logger, or a discard logger so call sites
+// never nil-check.
+func (s *Server) log() *slog.Logger {
+	if s.logger != nil {
+		return s.logger
+	}
+	return obs.NopLogger()
+}
+
+// MarkReady flips /readyz to 200. The binary calls it once preloading —
+// including snapshot restores — has completed, so orchestrators only
+// route traffic to instances with warm tables published.
+func (s *Server) MarkReady() { s.ready.Store(true) }
+
+// statusWriter captures the response status for request logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Handler returns the HTTP handler with request counting, request-ID
+// propagation and structured request logging. Each request gets an ID —
+// the client's X-Request-Id when present, a generated one otherwise —
+// which is echoed in the response header, carried on the request
+// context into the registry and engine layers, and stamped onto any
+// trace span the request produces.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		s.mux.ServeHTTP(w, r)
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		s.mux.ServeHTTP(sw, r)
+		s.log().Debug("request",
+			"method", r.Method, "path", r.URL.Path, "status", sw.status,
+			"duration", time.Since(start), "request_id", id)
 	})
 }
 
@@ -316,7 +388,12 @@ type EntryInfo struct {
 	// moves an auto entry onto (and off) the table-free Earley backend.
 	RuleUpdates      uint64  `json:"rule_updates_total"`
 	UpdateParseRatio float64 `json:"update_parse_ratio"`
-	States           int     `json:"states"`
+	// EngineReprobes counts auto-engine re-probe passes (0 for
+	// explicitly selected backends); SnapshotSaves counts this entry's
+	// persisted table snapshots.
+	EngineReprobes uint64 `json:"engine_reprobes_total"`
+	SnapshotSaves  uint64 `json:"snapshot_saves_total"`
+	States         int    `json:"states"`
 	// Complete/Initial/Dirty break down the shared table: how much has
 	// been generated by need, and how much a modification invalidated.
 	Complete int `json:"complete_states"`
@@ -339,8 +416,9 @@ type EntryInfo struct {
 	MaxForestNodes      int     `json:"max_forest_nodes,omitempty"`
 	RatePerSec          float64 `json:"rate_per_sec,omitempty"`
 	RateBurst           int     `json:"rate_burst,omitempty"`
-	// Latency is the entry's request-latency histogram (null until the
-	// entry has served a request).
+	// Latency is the entry's request-latency histogram, omitted (not
+	// null) until the entry has served a request — the same shape
+	// /v1/stats uses for its per-engine aggregation, pinned by test.
 	Latency *LatencyStats `json:"latency,omitempty"`
 }
 
@@ -355,6 +433,8 @@ func infoOf(st registry.Stats) EntryInfo {
 		EngineCaps:          capsOf(st.Caps),
 		RuleUpdates:         st.RuleUpdates,
 		UpdateParseRatio:    st.UpdateParseRatio(),
+		EngineReprobes:      st.EngineReprobes,
+		SnapshotSaves:       st.SnapshotSaves,
 		States:              st.States,
 		Complete:            st.Complete,
 		Initial:             st.Initial,
@@ -481,10 +561,12 @@ type ParseResponse struct {
 	DurationUS int64 `json:"duration_us"`
 }
 
-func (s *Server) parseOne(e *registry.Entry, req ParseRequest) (ParseResponse, error) {
+func (s *Server) parseOne(ctx context.Context, e *registry.Entry, req ParseRequest) (ParseResponse, error) {
 	start := time.Now()
-	res, err := e.ParseInput(req.Input, req.Trees || req.Render)
+	tr := s.tracer.StartParse(e.Name(), e.EngineKind().String(), obs.RequestID(ctx))
+	res, err := e.ParseInputTraced(ctx, req.Input, req.Trees || req.Render, tr)
 	if err != nil {
+		s.finishTrace(tr, false, err)
 		return ParseResponse{}, err
 	}
 	out := ParseResponse{
@@ -499,14 +581,30 @@ func (s *Server) parseOne(e *registry.Entry, req ParseRequest) (ParseResponse, e
 	}
 	// Name/forest rendering reads the shared symbol table, so it runs
 	// under the entry's read lock inside Describe.
+	tr.BeginStage(obs.StageRender)
 	expected, forestText := e.Describe(res, req.Render)
+	tr.EndStage(obs.StageRender)
 	if !res.Accepted {
 		pos := res.ErrorPos
 		out.ErrorPos = &pos
 		out.Expected = expected
 	}
 	out.Forest = forestText
+	s.finishTrace(tr, res.Accepted, nil)
 	return out, nil
+}
+
+// finishTrace completes a parse trace and logs slow-parse outliers with
+// their full stage breakdown. Nil traces (tracing off or unsampled with
+// no slow threshold) cost two nil checks.
+func (s *Server) finishTrace(tr *obs.ParseTrace, accepted bool, err error) {
+	sp, _, slow := tr.FinishSpan(accepted, err)
+	if slow {
+		s.log().Warn("slow parse",
+			"grammar", sp.Grammar, "engine", sp.Engine,
+			"duration", sp.Total, "accepted", accepted,
+			"request_id", sp.RequestID, "err", err)
+	}
 }
 
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
@@ -519,7 +617,7 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.parses.Add(1)
-	out, err := s.parseOne(e, req)
+	out, err := s.parseOne(r.Context(), e, req)
 	if err != nil {
 		writeError(w, s.parseErrorStatus(err), err)
 		return
@@ -617,7 +715,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				out, err := s.parseOne(e, ParseRequest{Input: req.Inputs[idx], Trees: req.Trees})
+				out, err := s.parseOne(r.Context(), e, ParseRequest{Input: req.Inputs[idx], Trees: req.Trees})
 				if err != nil {
 					throttled := throttledErr(err)
 					if throttled {

@@ -1,0 +1,103 @@
+#!/usr/bin/env sh
+# Observability smoke test: boot ipg-serve against a real grammar,
+# probe /healthz and /readyz, serve a traced parse, then verify the
+# /metrics exposition carries every required family and /v1/trace
+# returns the parse's lifecycle span. Run from the repository root;
+# exits non-zero on the first missing piece.
+set -eu
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+LOG="$(mktemp)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+go build -o /tmp/ipg-serve-smoke ./cmd/ipg-serve
+/tmp/ipg-serve-smoke -addr "$ADDR" \
+  -grammar calc=testdata/CalcDet.bnf \
+  -trace-sample 1 -trace-slow 1us \
+  -log-level debug >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+# Wait for liveness (the process may still be preloading).
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "FAIL: /healthz never came up" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+echo "ok: /healthz live"
+
+# Readiness must already be true: preload completes before listening.
+curl -fsS "$BASE/readyz" | grep -q '"status":"ready"' || {
+  echo "FAIL: /readyz not ready after preload" >&2
+  exit 1
+}
+echo "ok: /readyz ready"
+
+# Serve one traced parse (sampling 1 + 1µs slow threshold guarantee the
+# span is retained on both paths).
+curl -fsS -X POST "$BASE/v1/grammars/calc/parse" \
+  -H 'X-Request-Id: smoke-1' \
+  -d '{"input":"n + n * n","trees":true}' | grep -q '"accepted":true' || {
+  echo "FAIL: parse not accepted" >&2
+  exit 1
+}
+echo "ok: parse accepted"
+
+# The exposition must carry every required family.
+METRICS="$(curl -fsS "$BASE/metrics")"
+for fam in \
+  ipg_uptime_seconds \
+  ipg_grammars \
+  ipg_http_requests_total \
+  ipg_parse_requests_total \
+  ipg_http_rejected_total \
+  ipg_parses_served_total \
+  ipg_states_expanded_total \
+  ipg_states_invalidated_total \
+  ipg_action_calls_total \
+  ipg_rule_updates_total \
+  ipg_engine_reprobes_total \
+  ipg_admission_rejected_total \
+  ipg_inflight_parses \
+  ipg_table_states \
+  ipg_parse_latency_seconds \
+  ipg_grammar_snapshot_saves_total \
+  ipg_snapshot_saves_total \
+  ipg_snapshot_restores_total \
+  ipg_snapshot_rejected_total \
+  ipg_snapshot_errors_total \
+  ipg_trace_enabled \
+  ipg_trace_started_total \
+  ipg_trace_sampled_total \
+  ipg_trace_slow_total; do
+  echo "$METRICS" | grep -q "^# TYPE $fam " || {
+    echo "FAIL: /metrics missing family $fam" >&2
+    exit 1
+  }
+done
+echo "ok: all required /metrics families present"
+
+# Per-grammar series must be labeled with grammar and engine.
+echo "$METRICS" | grep -q 'ipg_parses_served_total{grammar="calc",engine="' || {
+  echo "FAIL: per-grammar series not labeled" >&2
+  exit 1
+}
+echo "ok: per-grammar labels present"
+
+# The traced parse must be visible in /v1/trace with its request ID.
+curl -fsS "$BASE/v1/trace" | grep -q '"request_id":"smoke-1"' || {
+  echo "FAIL: /v1/trace has no span for the smoke parse" >&2
+  exit 1
+}
+curl -fsS "$BASE/v1/grammars/calc/trace" | grep -q '"grammar":"calc"' || {
+  echo "FAIL: per-grammar trace empty" >&2
+  exit 1
+}
+echo "ok: trace spans retained"
+
+echo "observability smoke passed"
