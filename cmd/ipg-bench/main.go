@@ -40,6 +40,7 @@ func main() {
 	dir := flag.String("testdata", "testdata", "directory holding the four .sdf inputs")
 	repeat := flag.Int("repeat", 5, "repetitions per cell (minimum is kept)")
 	engines := flag.Bool("engines", false, "run the cross-engine comparison instead of Fig 7.1")
+	edits := flag.Bool("edits", false, "run the edit workload (incremental reparse vs from-scratch) instead of Fig 7.1")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (-engines mode)")
 	baseline := flag.String("baseline", "", "embed a prior -json report under \"baseline\" for before/after comparison (-engines mode)")
 	goBench := flag.String("gobench", "", "embed parsed `go test -bench -benchmem` output under \"go_bench\" (-engines mode)")
@@ -47,6 +48,14 @@ func main() {
 
 	if *engines {
 		runEngines(*dir, *repeat, *jsonPath, *baseline, *goBench)
+		return
+	}
+	if *edits {
+		results, err := harness.RunEdits(*dir, *repeat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printEdits(results)
 		return
 	}
 
@@ -87,6 +96,11 @@ type engineReport struct {
 	Arch    string                 `json:"arch"`
 	Repeat  int                    `json:"repeat"`
 	Results []harness.EngineResult `json:"results"`
+	// Edits is the incremental-reparse edit workload: splice cost vs
+	// edit position and width over the SDF fixtures (see
+	// harness.RunEdits). The ≥5× reparse gate in internal/harness reads
+	// the committed artifact's ASF.sdf single-token rows.
+	Edits []harness.EditResult `json:"edits,omitempty"`
 	// GoBench carries parsed `go test -bench -benchmem` rows (-gobench),
 	// so the repo-level benchmarks (BenchmarkConcurrentParse,
 	// BenchmarkEngines) ride in the same perf-trajectory artifact.
@@ -186,12 +200,19 @@ func runEngines(dir string, repeat int, jsonPath, baselinePath, goBenchPath stri
 		}
 	}
 
+	editResults, err := harness.RunEdits(dir, repeat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	printEdits(editResults)
+
 	if jsonPath == "" {
 		return
 	}
 	report := engineReport{
 		Bench: "engines", Go: runtime.Version(), Arch: runtime.GOARCH,
-		Repeat: repeat, Results: results,
+		Repeat: repeat, Results: results, Edits: editResults,
 	}
 	if goBenchPath != "" {
 		rows, err := parseGoBench(goBenchPath)
@@ -215,6 +236,25 @@ func runEngines(dir string, repeat int, jsonPath, baselinePath, goBenchPath stri
 		log.Fatal(err)
 	}
 	fmt.Printf("\nwrote %s\n", jsonPath)
+}
+
+func printEdits(results []harness.EditResult) {
+	fmt.Println("Edit workload — warm splice+reparse on a retained chart vs from-scratch parse")
+	fmt.Println("(touch edits; reused/rebuilt split the item sets of the reparse)")
+	fmt.Println()
+	current := ""
+	for _, r := range results {
+		if r.Fixture != current {
+			current = r.Fixture
+			fmt.Printf("%s (%d tokens)\n", r.Fixture, r.Tokens)
+			fmt.Printf("  %6s %5s %12s %12s %8s %8s %9s %10s\n",
+				"pos", "len", "full", "reparse", "speedup", "reused", "rebuilt", "allocs/op")
+		}
+		fmt.Printf("  %6d %5d %12s %12s %7.1fx %8d %9d %10d\n",
+			r.EditPos, r.EditLen,
+			fmtDur(time.Duration(r.FullNS)), fmtDur(time.Duration(r.ReparseNS)),
+			r.Speedup, r.SetsReused, r.SetsRebuilt, r.AllocsPerOp)
+	}
 }
 
 func fmtDur(d time.Duration) string {

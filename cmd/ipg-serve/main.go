@@ -9,6 +9,7 @@
 //	ipg-serve [-addr :8080] [-grammar name=path ...] [-engine auto]
 //	          [-snapshot-dir dir] [-snapshot-interval 5m] [-snapshot-gzip]
 //	          [-max-parses n] [-max-forest-nodes n] [-rate r] [-burst n]
+//	          [-session-max n] [-session-tokens n] [-session-idle 10m]
 //	          [-log-level info] [-log-json]
 //	          [-trace-sample n] [-trace-slow d] [-trace-ring n]
 //	          [-pprof]
@@ -30,6 +31,15 @@
 // (loading stays transparent either way).
 // -max-parses, -max-forest-nodes, -rate and -burst set per-grammar
 // admission control so a warm, heavily loaded service stays protected.
+//
+// Document sessions (POST /v1/grammars/{name}/sessions, PATCH
+// /v1/sessions/{id}) hold a parsed document server-side so editors
+// ship token splices instead of whole documents; Earley-backed
+// grammars reparse incrementally, reusing every item set left of the
+// edit. -session-max caps open sessions (excess 429), -session-tokens
+// caps a session's document size (413), and -session-idle evicts
+// sessions whose editor went away (a janitor sweeps at a quarter of
+// the timeout).
 //
 // Observability: the service always exposes GET /metrics (Prometheus
 // text format), /healthz (liveness) and /readyz (flips ready once the
@@ -102,6 +112,9 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-grammar sustained parse requests per second; excess gets 429 (0 = unthrottled)")
 	burst := flag.Int("burst", 0, "per-grammar request burst on top of -rate (0 = max(1, rate))")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatchInputs, "max sentences per batch request")
+	sessionMax := flag.Int("session-max", 256, "max concurrently open document sessions; excess gets 429 (0 = unlimited)")
+	sessionTokens := flag.Int("session-tokens", 1<<20, "max tokens per session document; larger gets 413 (0 = unlimited)")
+	sessionIdle := flag.Duration("session-idle", 10*time.Minute, "evict sessions untouched this long (0 = never)")
 	logLevel := flag.String("log-level", "info", "log floor: debug (logs every request), info, warn or error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of key=value text")
 	traceSample := flag.Int("trace-sample", 0, "record every Nth parse's lifecycle span for GET /v1/trace (0 = sampling off)")
@@ -136,6 +149,11 @@ func main() {
 		MaxForestNodes:      *maxForest,
 		RatePerSec:          *rate,
 		Burst:               *burst,
+	})
+	reg.SetSessionLimits(registry.SessionLimits{
+		MaxSessions:  *sessionMax,
+		MaxDocTokens: *sessionTokens,
+		IdleTimeout:  *sessionIdle,
 	})
 	if *snapDir != "" {
 		store, err := snapshot.NewStore(*snapDir)
@@ -228,6 +246,31 @@ func main() {
 						logger.Warn("snapshot gc", "err", err)
 					} else if len(removed) > 0 {
 						logger.Info("snapshot gc", "removed", removed)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	if *sessionIdle > 0 {
+		// Session janitor: reclaim documents whose editor went away.
+		tick := *sessionIdle / 4
+		if tick < time.Second {
+			tick = time.Second
+		}
+		if tick > time.Minute {
+			tick = time.Minute
+		}
+		janitor := time.NewTicker(tick)
+		go func() {
+			defer janitor.Stop()
+			for {
+				select {
+				case <-janitor.C:
+					if n := reg.EvictIdleSessions(time.Now()); n > 0 {
+						logger.Info("evicted idle sessions", "count", n, "open", reg.SessionCount())
 					}
 				case <-ctx.Done():
 					return

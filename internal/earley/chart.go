@@ -138,6 +138,88 @@ func (w *Workspace) begin(n, numSyms int, buildTrees bool) {
 	}
 }
 
+// resume rewinds the chart to its first keep+1 item sets (sets 0..keep
+// stay closed and untouched), dropping every item, Leo entry and
+// completion record at or beyond set keep+1 so a reparse can re-drive
+// from there. Item set i depends only on tokens[0..i-1] and the
+// grammar, so after an edit whose leftmost damaged token is k, sets
+// 0..k are reusable verbatim — this is the damage/reuse invariant the
+// document-session layer builds on. n is the new input length (the
+// completion index must cover origins 0..n). Capacities are kept, so a
+// warm truncate-and-redrive allocates nothing.
+func (w *Workspace) resume(keep, n, numSyms int, buildTrees bool) {
+	w.items = w.items[:w.bounds[keep+1]]
+	w.bounds = w.bounds[:keep+2]
+	w.scanBuf = w.scanBuf[:0]
+	// Leo memo: populated one span per processed set on recognition
+	// parses (tree-building charts leave it empty, guarded by length).
+	if len(w.leoBounds) > keep+2 {
+		w.leoBounds = w.leoBounds[:keep+2]
+	}
+	if len(w.leoBounds) == keep+2 {
+		w.leo = w.leo[:w.leoBounds[keep+1]]
+	}
+
+	if len(w.waitGen) < numSyms {
+		w.waitGen = make([]uint32, numSyms)
+		w.waitCount = make([]int32, numSyms)
+		w.waitItem = make([]int32, numSyms)
+	}
+	w.waitSyms = w.waitSyms[:0]
+	w.gen++
+	if w.gen == 0 {
+		clear(w.tabGen)
+		clear(w.waitGen)
+		w.gen = 1
+	}
+
+	if buildTrees {
+		// Completion records are appended while their end set is being
+		// processed, so ends are nondecreasing and the survivors form a
+		// prefix. Survivor next-links only point at earlier (smaller)
+		// indices, so they stay valid; heads just need to skip past the
+		// cut. Origins beyond keep only ever complete past set keep, so
+		// their lists empty out entirely.
+		cut := int32(sort.Search(len(w.comps), func(i int) bool { return w.comps[i].end > int32(keep) }))
+		for o := 0; o <= keep && o < len(w.compHead); o++ {
+			h := w.compHead[o]
+			for h >= cut {
+				h = w.comps[h].next
+			}
+			w.compHead[o] = h
+		}
+		w.comps = w.comps[:cut]
+		if cap(w.compHead) < n+1 {
+			old := w.compHead
+			w.compHead = make([]int32, n+1)
+			copy(w.compHead, old[:keep+1])
+		}
+		w.compHead = w.compHead[:n+1]
+		for o := keep + 1; o <= n; o++ {
+			w.compHead[o] = -1
+		}
+	}
+}
+
+// rescan re-runs the scanner of finalized set k against input[k],
+// staging set k+1 exactly as the original drive would have. Iterating
+// the finalized set preserves the original staging order, so a resumed
+// chart is byte-identical to a from-scratch parse of the edited input.
+func (w *Workspace) rescan(pr *program, input []grammar.Symbol, k int) {
+	sym := input[k]
+	if int(sym) < len(pr.isNT) && pr.isNT[sym] {
+		return
+	}
+	start, end := w.setSpan(k)
+	for j := start; j < end; j++ {
+		it := w.items[j]
+		r := pr.rules[it.rule]
+		if int(it.dot) < len(r.Rhs) && r.Rhs[it.dot] == sym {
+			w.scanBuf = append(w.scanBuf, item{rule: it.rule, dot: it.dot + 1, origin: it.origin})
+		}
+	}
+}
+
 // nextSet closes the current set and seeds the next one from the
 // scanner staging buffer. The dedup table generation advances; staged
 // items need no table entries (see the Workspace comment).
@@ -293,18 +375,45 @@ func (w *Workspace) finalizeLeo(pr *program, i int) {
 // run executes the recognizer over input, leaving the chart in w for an
 // optional forest-building pass. Diagnostics match the LR engines'
 // shape.
-func (p *Parser) run(pr *program, input []grammar.Symbol, w *Workspace, buildTrees bool) Result {
+//
+// start is the index of the first item set to (re)process. Zero is a
+// from-scratch parse. A positive start resumes an edited document: the
+// caller guarantees w holds a chart whose sets 0..start-1 are valid for
+// input (they were built over an identical token prefix by this same
+// program); run truncates everything from set start on, re-scans set
+// start-1 against the new input and drives forward. The resumed chart
+// is identical to what a from-scratch parse of input would build.
+func (p *Parser) run(pr *program, input []grammar.Symbol, w *Workspace, buildTrees bool, start int) Result {
 	n := len(input)
-	w.begin(n, pr.numSyms, buildTrees)
 	res := Result{ErrorPos: -1}
 	res.Stats.Sets = n + 1
 
-	for _, ri := range pr.startRules {
-		w.add(item{rule: ri, dot: 0, origin: 0})
-	}
-
 	last := 0 // last set that held items (failure diagnostics)
-	for i := 0; i <= n; i++ {
+	if start == 0 {
+		w.begin(n, pr.numSyms, buildTrees)
+		for _, ri := range pr.startRules {
+			w.add(item{rule: ri, dot: 0, origin: 0})
+		}
+	} else {
+		w.resume(start-1, n, pr.numSyms, buildTrees)
+		for i := start - 1; i > 0; i-- {
+			if w.bounds[i+1] > w.bounds[i] {
+				last = i
+				break
+			}
+		}
+		if start <= n && w.bounds[start] > w.bounds[start-1] {
+			w.rescan(pr, input, start-1)
+			w.nextSet()
+		} else {
+			// Set start-1 is empty — the retained chart died there, and
+			// a from-scratch parse would never open a set beyond it — or
+			// the kept prefix already covers the whole input. Either
+			// way the chart is final as truncated.
+			start = n + 1
+		}
+	}
+	for i := start; i <= n; i++ {
 		curStart := w.bounds[len(w.bounds)-1]
 		if int32(len(w.items)) > curStart {
 			last = i
@@ -366,12 +475,12 @@ func (p *Parser) run(pr *program, input []grammar.Symbol, w *Workspace, buildTre
 	// every set is populated, the sentence stopped one derivation short).
 	res.ErrorPos = last
 	seenExp := map[grammar.Symbol]bool{}
-	start := w.bounds[last]
+	lo := w.bounds[last]
 	end := int32(len(w.items))
 	if last+1 < len(w.bounds) {
 		end = w.bounds[last+1]
 	}
-	for j := start; j < end; j++ {
+	for j := lo; j < end; j++ {
 		it := w.items[j]
 		r := pr.rules[it.rule]
 		if int(it.dot) == len(r.Rhs) {

@@ -138,7 +138,7 @@ func (p *Parser) Parse(input []grammar.Symbol, opts *Options) (Result, error) {
 	tr := opts.trace()
 
 	tr.BeginStage(obs.StageTable)
-	res := p.run(pr, input, w, buildTrees)
+	res := p.run(pr, input, w, buildTrees, 0)
 	tr.EndStage(obs.StageTable)
 	if !buildTrees {
 		return res, nil

@@ -48,7 +48,17 @@ func buildForest(pr *program, w *Workspace, input []grammar.Symbol, f *forest.Fo
 		memo:   map[span]*forest.Node{},
 		onPath: map[span]bool{},
 	}
-	n := int32(len(input))
+	return b.build()
+}
+
+// build walks the completion index from the START rules. The builder's
+// memo may carry entries from a previous build of the same document
+// prefix (document sessions): any span the caller left in it is trusted
+// as-is, which is what makes an incremental tree rebuild touch only
+// nodes whose spans intersect the edit.
+func (b *builder) build() (*forest.Node, error) {
+	pr, w, f := b.pr, b.w, b.f
+	n := int32(len(b.input))
 	start := pr.g.Start()
 	var alts []*forest.Node
 	for c := w.compHead[0]; c >= 0; c = w.comps[c].next {

@@ -1,6 +1,6 @@
 // The allocation-regression gate: CI fails when a steady-state pass of
 // any engine workload allocates more than twice what the committed
-// BENCH_pr6.json baseline records. ns/op regressions are machine-
+// BENCH_pr7.json baseline records. ns/op regressions are machine-
 // dependent and belong to human review of the uploaded bench artifact;
 // allocs/op is deterministic enough to gate on.
 package engine_test
@@ -10,6 +10,9 @@ import (
 	"os"
 	"testing"
 
+	"ipg/internal/engine"
+	"ipg/internal/fixtures"
+	"ipg/internal/grammar"
 	"ipg/internal/harness"
 )
 
@@ -42,7 +45,7 @@ func TestAllocRegressionGuard(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation makes sync.Pool lossy; allocation counts are meaningless under -race")
 	}
-	base := loadReport(t, "../../BENCH_pr6.json")
+	base := loadReport(t, "../../BENCH_pr7.json")
 	baseline := map[[2]string]int64{}
 	earleyRows := 0
 	for _, r := range base.Results {
@@ -54,13 +57,13 @@ func TestAllocRegressionGuard(t *testing.T) {
 		}
 	}
 	if len(baseline) == 0 {
-		t.Fatal("BENCH_pr6.json holds no usable baselines")
+		t.Fatal("BENCH_pr7.json holds no usable baselines")
 	}
 	// The chart overhaul put Earley under the same allocs/op discipline
 	// as the LR engines; the gate must cover its budget on every
 	// workload, not just the table-driven backends'.
 	if earleyRows < 4 {
-		t.Fatalf("BENCH_pr6.json covers only %d earley workloads, want all 4", earleyRows)
+		t.Fatalf("BENCH_pr7.json covers only %d earley workloads, want all 4", earleyRows)
 	}
 
 	workloads, err := harness.EngineWorkloads("../../testdata")
@@ -84,6 +87,51 @@ func TestAllocRegressionGuard(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Fatal("no (workload, engine) pair matched the committed baseline")
+	}
+}
+
+// TestSessionReparseAllocFree extends the allocation gate to the
+// session layer: once a document session is warm, a same-length
+// single-token splice plus reparse must not touch the heap — the chart
+// resumes in place and the edited suffix re-drives through pooled
+// workspace storage.
+func TestSessionReparseAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation makes sync.Pool lossy; allocation counts are meaningless under -race")
+	}
+	g := fixtures.Booleans()
+	e, err := engine.New(engine.KindEarley, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := engine.OpenSession(e, fixtures.Tokens(g, "true or false and true or false or true"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if res, err := s.Reparse(); err != nil || !res.Accepted {
+		t.Fatalf("initial reparse: %v accepted=%v", err, res.Accepted)
+	}
+	// Touch edit at the last token; the insert slice is hoisted so the
+	// measured cycle is pure splice+reparse.
+	pos := s.Len() - 1
+	insert := []grammar.Symbol{fixtures.Tokens(g, "true")[0]}
+	cycle := func() {
+		if err := s.Splice(pos, 1, insert); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Reparse()
+		if err != nil || !res.Accepted {
+			t.Fatalf("warm reparse: %v accepted=%v", err, res.Accepted)
+		}
+	}
+	cycle() // warm the resumed suffix
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Errorf("warm single-token splice+reparse: %.2f allocs/op, want 0", avg)
+	}
+	st := s.Stats()
+	if st.LastReused != pos+1 {
+		t.Errorf("last reparse reused %d sets, want %d (sets 0..pos, left of the edit)", st.LastReused, pos+1)
 	}
 }
 

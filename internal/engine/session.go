@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"fmt"
+
+	"ipg/internal/earley"
+	"ipg/internal/grammar"
+)
+
+// Session is a stateful document bound to one engine: the editor-style
+// workload of open once, splice many times, reparse after each batch of
+// edits. Engines that retain parse state across edits (Earley's chart)
+// reuse everything left of the leftmost damaged token; the others parse
+// from scratch behind the same interface, so `auto` entries keep
+// working regardless of the backend selected.
+//
+// A Session is NOT safe for concurrent use — callers serialize access
+// (the registry layer wraps each session in a mutex). Grammar updates
+// on the owning engine remain safe: sessions take the engine's reader
+// lock around every reparse and notice version changes.
+type Session interface {
+	// Engine identifies the concrete backend serving this session.
+	Engine() Kind
+	// Incremental reports whether reparses reuse retained state (false
+	// means every Reparse is a from-scratch parse).
+	Incremental() bool
+	// Len returns the current token count.
+	Len() int
+	// Splice replaces tokens[at : at+removed] with insert. The edit is
+	// applied to the retained document only; call Reparse or Tree to
+	// bring the parse up to date.
+	Splice(at, removed int, insert []grammar.Symbol) error
+	// Reparse brings the session up to date with its tokens and returns
+	// the recognition result.
+	Reparse() (Result, error)
+	// Tree reparses if needed and builds the parse forest.
+	Tree() (Result, error)
+	// Stats returns the session's reuse accounting.
+	Stats() SessionStats
+	// Close releases retained state. Further calls are undefined.
+	Close()
+}
+
+// SessionStats is a point-in-time snapshot of one session's document
+// size and incremental-reuse accounting. For fallback (full-reparse)
+// sessions, every reparse is counted in FullReparses and the set
+// counters stay zero.
+type SessionStats struct {
+	Tokens       int
+	Sets         int
+	Items        int
+	Reparses     uint64
+	FullReparses uint64
+	SetsReused   uint64
+	SetsRebuilt  uint64
+	LastReused   int
+	LastRebuilt  int
+	ForestNodes  int
+}
+
+// ErrSplice reports an out-of-range or malformed splice (the session's
+// document is unchanged). Serve maps it to 416.
+var ErrSplice = earley.ErrSplice
+
+// sessionOpener is the optional capability behind OpenSession: engines
+// that can serve a session natively implement it.
+type sessionOpener interface {
+	OpenSession(input []grammar.Symbol) (Session, error)
+}
+
+// OpenSession opens a document session over input (a trailing end
+// marker is dropped) on e. Earley-backed engines — including auto
+// entries currently running Earley — get chart-reuse sessions; every
+// other backend gets a full-reparse fallback. Auto sessions pin the
+// backend selected at open time: a later churn-driven reselection does
+// not migrate live sessions.
+func OpenSession(e Engine, input []grammar.Symbol) (Session, error) {
+	if a, ok := e.(*Auto); ok {
+		return OpenSession(a.current(), input)
+	}
+	if so, ok := e.(sessionOpener); ok {
+		return so.OpenSession(input)
+	}
+	return newFallbackSession(e, input), nil
+}
+
+// earleySession is the incremental session: a retained earley.Doc whose
+// chart survives across reparses. The Doc runs in tree mode (it records
+// completions) so Tree is always available; Reparse still reports pure
+// recognition.
+type earleySession struct {
+	e *Earley
+	d *earley.Doc
+}
+
+// OpenSession implements the engine-level session capability for
+// Earley.
+func (e *Earley) OpenSession(input []grammar.Symbol) (Session, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return &earleySession{e: e, d: e.p.OpenDoc(input, true)}, nil
+}
+
+func (s *earleySession) Engine() Kind      { return KindEarley }
+func (s *earleySession) Incremental() bool { return true }
+func (s *earleySession) Len() int          { return s.d.Len() }
+
+func (s *earleySession) Splice(at, removed int, insert []grammar.Symbol) error {
+	return s.d.Splice(at, removed, insert)
+}
+
+func (s *earleySession) Reparse() (Result, error) {
+	s.e.mu.RLock()
+	defer s.e.mu.RUnlock()
+	s.e.parsesServed.Add(1)
+	res := s.d.Reparse()
+	s.e.items.Add(uint64(res.Stats.Items))
+	return Result{
+		Accepted: res.Accepted,
+		ErrorPos: res.ErrorPos,
+		Expected: res.Expected,
+	}, nil
+}
+
+func (s *earleySession) Tree() (Result, error) {
+	s.e.mu.RLock()
+	defer s.e.mu.RUnlock()
+	s.e.parsesServed.Add(1)
+	res, err := s.d.Tree()
+	if err != nil {
+		return Result{}, fmt.Errorf("engine: earley session tree: %w", err)
+	}
+	s.e.items.Add(uint64(res.Stats.Items))
+	return Result{
+		Accepted: res.Accepted,
+		Root:     res.Root,
+		Forest:   res.Forest,
+		ErrorPos: res.ErrorPos,
+		Expected: res.Expected,
+	}, nil
+}
+
+func (s *earleySession) Stats() SessionStats {
+	st := s.d.Stats()
+	return SessionStats{
+		Tokens:       st.Tokens,
+		Sets:         st.Sets,
+		Items:        st.Items,
+		Reparses:     st.Reparses,
+		FullReparses: st.FullReparses,
+		SetsReused:   st.SetsReused,
+		SetsRebuilt:  st.SetsRebuilt,
+		LastReused:   st.LastReused,
+		LastRebuilt:  st.LastRebuilt,
+		ForestNodes:  st.ForestNodes,
+	}
+}
+
+func (s *earleySession) Close() { s.d = nil }
+
+// ResetForest drops the session's retained forest (it regrows on the
+// next Tree call); the registry uses it to heal sessions that outgrow a
+// forest-node budget.
+func (s *earleySession) ResetForest() { s.d.ResetForest() }
+
+// ForestResetter is implemented by sessions whose retained forest can
+// be dropped and rebuilt (see earleySession.ResetForest).
+type ForestResetter interface{ ResetForest() }
+
+// fallbackSession serves the Session interface on engines without
+// retained-state reuse: it keeps only the token stream and runs a
+// from-scratch parse on every Reparse/Tree.
+type fallbackSession struct {
+	e      Engine
+	tokens []grammar.Symbol
+
+	reparses uint64
+	last     Result
+	valid    bool // last holds the recognition result for tokens
+}
+
+func newFallbackSession(e Engine, input []grammar.Symbol) *fallbackSession {
+	if n := len(input); n > 0 && input[n-1] == grammar.EOF {
+		input = input[:n-1]
+	}
+	return &fallbackSession{e: e, tokens: append([]grammar.Symbol(nil), input...)}
+}
+
+func (s *fallbackSession) Engine() Kind      { return s.e.Kind() }
+func (s *fallbackSession) Incremental() bool { return false }
+func (s *fallbackSession) Len() int          { return len(s.tokens) }
+
+func (s *fallbackSession) Splice(at, removed int, insert []grammar.Symbol) error {
+	if at < 0 || removed < 0 || at > len(s.tokens) || removed > len(s.tokens)-at {
+		return fmt.Errorf("%w: at=%d remove=%d len=%d", ErrSplice, at, removed, len(s.tokens))
+	}
+	for _, sym := range insert {
+		if sym == grammar.EOF {
+			return fmt.Errorf("%w: cannot insert end marker", ErrSplice)
+		}
+	}
+	out := make([]grammar.Symbol, 0, len(s.tokens)-removed+len(insert))
+	out = append(out, s.tokens[:at]...)
+	out = append(out, insert...)
+	out = append(out, s.tokens[at+removed:]...)
+	s.tokens = out
+	s.valid = false
+	return nil
+}
+
+func (s *fallbackSession) Reparse() (Result, error) {
+	if s.valid {
+		return s.last, nil
+	}
+	res, err := s.e.Parse(s.tokens, false)
+	if err != nil {
+		return Result{}, err
+	}
+	s.reparses++
+	s.last, s.valid = res, true
+	return res, nil
+}
+
+func (s *fallbackSession) Tree() (Result, error) {
+	res, err := s.e.Parse(s.tokens, true)
+	if err != nil {
+		return Result{}, err
+	}
+	s.reparses++
+	s.last = Result{Accepted: res.Accepted, ErrorPos: res.ErrorPos, Expected: res.Expected}
+	s.valid = true
+	return res, nil
+}
+
+func (s *fallbackSession) Stats() SessionStats {
+	return SessionStats{
+		Tokens:       len(s.tokens),
+		Reparses:     s.reparses,
+		FullReparses: s.reparses,
+	}
+}
+
+func (s *fallbackSession) Close() { s.tokens = nil }

@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports that the race detector is active: instrumentation
+// skews both timing and allocation accounting, so the edit-workload
+// smoke relaxes its speedup assertion and skips alloc counting.
+const raceEnabled = true

@@ -39,9 +39,15 @@ const (
 	// StageRender is human-facing rendering (expected sets, bracketed
 	// forests) in the serve layer.
 	StageRender
+	// StageSplice is edit application on a document session: offset
+	// validation plus tokenizing and splicing the inserted text.
+	StageSplice
+	// StageReuse is the incremental reparse of a document session —
+	// chart truncation to the damage point plus the resumed drive.
+	StageReuse
 
 	// NumStages is the number of lifecycle stages.
-	NumStages = 6
+	NumStages = 8
 )
 
 // String names the stage as used in trace JSON and logs.
@@ -59,6 +65,10 @@ func (s Stage) String() string {
 		return "forest"
 	case StageRender:
 		return "render"
+	case StageSplice:
+		return "splice"
+	case StageReuse:
+		return "reuse"
 	default:
 		return "unknown"
 	}

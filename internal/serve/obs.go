@@ -156,6 +156,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Family("ipg_snapshot_errors_total", obs.TypeCounter,
 		"Snapshot read/write failures.").Sample(float64(snap.Errors))
 
+	// Document sessions. Counters include closed sessions' tallies, so
+	// they stay monotone across idle eviction.
+	sess := s.reg.SessionTotals()
+	p.Family("ipg_sessions_open", obs.TypeGauge,
+		"Document sessions currently open.").Sample(float64(sess.Open))
+	p.Family("ipg_sessions_opened_total", obs.TypeCounter,
+		"Document sessions opened.").Sample(float64(sess.Opened))
+	p.Family("ipg_sessions_evicted_total", obs.TypeCounter,
+		"Sessions reclaimed by the idle janitor.").Sample(float64(sess.Evicted))
+	p.Family("ipg_sessions_closed_total", obs.TypeCounter,
+		"Sessions closed explicitly or by entry removal/replacement.").Sample(float64(sess.Closed))
+	p.Family("ipg_session_splices_total", obs.TypeCounter,
+		"Edits applied to session documents.").Sample(float64(sess.Splices))
+	p.Family("ipg_session_reparses_total", obs.TypeCounter,
+		"Session reparses that did chart work (incremental or full).").Sample(float64(sess.Reparses))
+	p.Family("ipg_session_full_reparses_total", obs.TypeCounter,
+		"Session reparses that could not reuse retained state.").Sample(float64(sess.FullReparses))
+	p.Family("ipg_reparse_sets_reused_total", obs.TypeCounter,
+		"Earley item sets reused verbatim across session reparses.").Sample(float64(sess.SetsReused))
+	p.Family("ipg_reparse_sets_rebuilt_total", obs.TypeCounter,
+		"Earley item sets re-expanded by session reparses.").Sample(float64(sess.SetsRebuilt))
+
 	// Trace subsystem.
 	ts := s.tracer.Stats()
 	p.Family("ipg_trace_enabled", obs.TypeGauge,

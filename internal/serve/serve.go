@@ -21,6 +21,18 @@
 //	POST   /v1/grammars/{name}/snapshot persist one entry's table
 //	GET    /v1/grammars/{name}/trace    one grammar's recent spans
 //	POST   /v1/snapshot                 persist every entry's table
+//	POST   /v1/grammars/{name}/sessions open a document session
+//	GET    /v1/sessions                 list open sessions
+//	PATCH  /v1/sessions/{id}            splice edits into a session, reparse
+//	GET    /v1/sessions/{id}/stat       one session's reuse accounting
+//	GET    /v1/sessions/{id}/tree       a session's parse forest
+//	DELETE /v1/sessions/{id}            close a session
+//
+// Document sessions hold a parsed document server-side so editors ship
+// token splices instead of whole documents; Earley-backed entries
+// reparse incrementally, reusing every item set left of the edit. Bad
+// splice offsets map to 416, unknown or evicted sessions to 404, and
+// the session-count cap to 429.
 //
 // A registration may pick its parsing backend ("engine": glr, lalr,
 // ll, earley, or auto — which probes the grammar and records why); the
@@ -103,6 +115,12 @@ func New(reg *registry.Registry) *Server {
 	s.mux.HandleFunc("POST /v1/grammars/{name}/rules", s.handleRules)
 	s.mux.HandleFunc("POST /v1/grammars/{name}/snapshot", s.handleSnapshotOne)
 	s.mux.HandleFunc("POST /v1/snapshot", s.handleSnapshotAll)
+	s.mux.HandleFunc("POST /v1/grammars/{name}/sessions", s.handleSessionOpen)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("PATCH /v1/sessions/{id}", s.handleSessionEdit)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stat", s.handleSessionStat)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/tree", s.handleSessionTree)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
 	return s
 }
 
@@ -569,6 +587,16 @@ func (s *Server) parseOne(ctx context.Context, e *registry.Entry, req ParseReque
 		s.finishTrace(tr, false, err)
 		return ParseResponse{}, err
 	}
+	out := renderResult(e, res, req.Render, tr, start)
+	s.finishTrace(tr, res.Accepted, nil)
+	return out, nil
+}
+
+// renderResult translates a registry result into the wire shape,
+// recording name/forest rendering — which reads the shared symbol
+// table under the entry's read lock inside Describe — as a render
+// stage. Shared by the parse and session endpoints.
+func renderResult(e *registry.Entry, res registry.Result, render bool, tr *obs.ParseTrace, start time.Time) ParseResponse {
 	out := ParseResponse{
 		Accepted:   res.Accepted,
 		DurationUS: time.Since(start).Microseconds(),
@@ -579,10 +607,8 @@ func (s *Server) parseOne(ctx context.Context, e *registry.Entry, req ParseReque
 		out.Trees = &trees
 		out.Ambiguous = &ambiguous
 	}
-	// Name/forest rendering reads the shared symbol table, so it runs
-	// under the entry's read lock inside Describe.
 	tr.BeginStage(obs.StageRender)
-	expected, forestText := e.Describe(res, req.Render)
+	expected, forestText := e.Describe(res, render)
 	tr.EndStage(obs.StageRender)
 	if !res.Accepted {
 		pos := res.ErrorPos
@@ -590,8 +616,7 @@ func (s *Server) parseOne(ctx context.Context, e *registry.Entry, req ParseReque
 		out.Expected = expected
 	}
 	out.Forest = forestText
-	s.finishTrace(tr, res.Accepted, nil)
-	return out, nil
+	return out
 }
 
 // finishTrace completes a parse trace and logs slow-parse outliers with

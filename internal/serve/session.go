@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ipg/internal/engine"
+	"ipg/internal/obs"
+	"ipg/internal/registry"
+)
+
+// OpenSessionRequest is the POST /v1/grammars/{name}/sessions body.
+// Input is resolved like a parse request: source text for SDF
+// grammars, whitespace-separated terminal names for rules grammars.
+type OpenSessionRequest struct {
+	Input string `json:"input"`
+}
+
+// SessionOpenResponse reports a freshly opened session together with
+// its initial parse.
+type SessionOpenResponse struct {
+	Session registry.SessionStat `json:"session"`
+	Result  *ParseResponse       `json:"result,omitempty"`
+}
+
+// SpliceOp is one edit: replace tokens[at : at+remove] with the
+// tokenization of insert.
+type SpliceOp struct {
+	At     int    `json:"at"`
+	Remove int    `json:"remove"`
+	Insert string `json:"insert"`
+}
+
+// SessionEditRequest is the PATCH /v1/sessions/{id} body: a batch of
+// splices, then (unless reparse:false) a reparse — incremental on
+// engines that retain their chart.
+type SessionEditRequest struct {
+	Splices []SpliceOp `json:"splices"`
+	// Reparse defaults to true; false buffers the edits only.
+	Reparse *bool `json:"reparse,omitempty"`
+	// Trees upgrades the reparse to forest construction; Render
+	// additionally includes the bracketed forest text.
+	Trees  bool `json:"trees,omitempty"`
+	Render bool `json:"render,omitempty"`
+}
+
+// SessionEditResponse reports an edit batch. SetsReused/SetsRebuilt
+// expose the reparse's chart-reuse split (zero for engines without
+// retained state).
+type SessionEditResponse struct {
+	ID      string `json:"id"`
+	Spliced int    `json:"spliced"`
+	Tokens  int    `json:"tokens"`
+	// Result is absent when the request suppressed the reparse.
+	Result      *ParseResponse `json:"result,omitempty"`
+	SetsReused  int            `json:"sets_reused,omitempty"`
+	SetsRebuilt int            `json:"sets_rebuilt,omitempty"`
+}
+
+// sessionErrorStatus maps session-operation failures onto HTTP
+// statuses: 416 for out-of-range splices, 404 for unknown/evicted
+// sessions, 413 for documents over the token budget, 429 for the
+// admission class, 422 otherwise.
+func (s *Server) sessionErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrSplice):
+		return http.StatusRequestedRangeNotSatisfiable
+	case errors.Is(err, registry.ErrNoSession):
+		return http.StatusNotFound
+	case errors.Is(err, registry.ErrDocTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, registry.ErrSessionLimit):
+		s.rejected429.Add(1)
+		return http.StatusTooManyRequests
+	case throttledErr(err):
+		s.rejected429.Add(1)
+		return http.StatusTooManyRequests
+	}
+	return http.StatusUnprocessableEntity
+}
+
+// session resolves the {id} path value, answering 404 for ids that are
+// unknown — never issued, closed, or idle-evicted.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*registry.Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.reg.Session(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("%w: %q (unknown, closed or evicted)", registry.ErrNoSession, id))
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	var req OpenSessionRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	sess, err := s.reg.OpenSession(e, req.Input)
+	if err != nil {
+		writeError(w, s.sessionErrorStatus(err), err)
+		return
+	}
+	// Parse the just-opened document so the client learns acceptance
+	// without a second round trip; this also warms the retained chart.
+	start := time.Now()
+	tr := s.tracer.StartParse(sess.Grammar(), sess.EngineName(), obs.RequestID(r.Context()))
+	res, err := sess.Reparse(tr)
+	if err != nil {
+		s.finishTrace(tr, false, err)
+		s.reg.CloseSession(sess.ID())
+		writeError(w, s.sessionErrorStatus(err), err)
+		return
+	}
+	out := renderResult(e, res, false, tr, start)
+	s.finishTrace(tr, res.Accepted, nil)
+	writeJSON(w, http.StatusCreated, SessionOpenResponse{Session: sess.Stat(), Result: &out})
+}
+
+func (s *Server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req SessionEditRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	start := time.Now()
+	tr := s.tracer.StartParse(sess.Grammar(), sess.EngineName(), obs.RequestID(r.Context()))
+	for i, op := range req.Splices {
+		if err := sess.Splice(op.At, op.Remove, op.Insert, tr); err != nil {
+			s.finishTrace(tr, false, err)
+			writeError(w, s.sessionErrorStatus(err),
+				fmt.Errorf("splice %d: %w", i, err))
+			return
+		}
+	}
+	out := SessionEditResponse{ID: sess.ID(), Spliced: len(req.Splices)}
+	if req.Reparse == nil || *req.Reparse {
+		var res registry.Result
+		var err error
+		if req.Trees || req.Render {
+			res, err = sess.Tree(tr)
+		} else {
+			res, err = sess.Reparse(tr)
+		}
+		if err != nil {
+			s.finishTrace(tr, false, err)
+			writeError(w, s.sessionErrorStatus(err), err)
+			return
+		}
+		pr := renderResult(sess.Entry(), res, req.Render, tr, start)
+		out.Result = &pr
+		s.finishTrace(tr, res.Accepted, nil)
+	} else {
+		s.finishTrace(tr, true, nil)
+	}
+	st := sess.Stat()
+	out.Tokens = st.Tokens
+	if out.Result != nil {
+		out.SetsReused = st.LastReused
+		out.SetsRebuilt = st.LastRebuilt
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSessionStat(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Stat())
+}
+
+func (s *Server) handleSessionTree(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	render := r.URL.Query().Get("render") != ""
+	start := time.Now()
+	tr := s.tracer.StartParse(sess.Grammar(), sess.EngineName(), obs.RequestID(r.Context()))
+	res, err := sess.Tree(tr)
+	if err != nil {
+		s.finishTrace(tr, false, err)
+		writeError(w, s.sessionErrorStatus(err), err)
+		return
+	}
+	out := renderResult(sess.Entry(), res, render, tr, start)
+	s.finishTrace(tr, res.Accepted, nil)
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": s.reg.SessionStats()})
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.reg.CloseSession(id) {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("%w: %q (unknown, closed or evicted)", registry.ErrNoSession, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"closed": true})
+}

@@ -48,6 +48,33 @@ curl -fsS -X POST "$BASE/v1/grammars/calc/parse" \
 }
 echo "ok: parse accepted"
 
+# Open a document session, splice a touch edit, reparse and stat it:
+# the session lifecycle must work end to end and leave its mark in the
+# metrics and trace surfaces checked below.
+OPEN="$(curl -fsS -X POST "$BASE/v1/grammars/calc/sessions" \
+  -H 'X-Request-Id: smoke-sess' \
+  -d '{"input":"n + n * n"}')"
+echo "$OPEN" | grep -q '"accepted":true' || {
+  echo "FAIL: session open did not parse" >&2
+  exit 1
+}
+SID="$(echo "$OPEN" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$SID" ] || {
+  echo "FAIL: session open returned no id" >&2
+  exit 1
+}
+curl -fsS -X PATCH "$BASE/v1/sessions/$SID" \
+  -H 'X-Request-Id: smoke-splice' \
+  -d '{"splices":[{"at":2,"remove":1,"insert":"n"}]}' | grep -q '"accepted":true' || {
+  echo "FAIL: session splice+reparse not accepted" >&2
+  exit 1
+}
+curl -fsS "$BASE/v1/sessions/$SID/stat" | grep -q '"splices":1' || {
+  echo "FAIL: session stat does not count the splice" >&2
+  exit 1
+}
+echo "ok: session open/splice/reparse/stat ($SID)"
+
 # The exposition must carry every required family.
 METRICS="$(curl -fsS "$BASE/metrics")"
 for fam in \
@@ -74,7 +101,16 @@ for fam in \
   ipg_trace_enabled \
   ipg_trace_started_total \
   ipg_trace_sampled_total \
-  ipg_trace_slow_total; do
+  ipg_trace_slow_total \
+  ipg_sessions_open \
+  ipg_sessions_opened_total \
+  ipg_sessions_evicted_total \
+  ipg_sessions_closed_total \
+  ipg_session_splices_total \
+  ipg_session_reparses_total \
+  ipg_session_full_reparses_total \
+  ipg_reparse_sets_reused_total \
+  ipg_reparse_sets_rebuilt_total; do
   echo "$METRICS" | grep -q "^# TYPE $fam " || {
     echo "FAIL: /metrics missing family $fam" >&2
     exit 1
@@ -99,5 +135,20 @@ curl -fsS "$BASE/v1/grammars/calc/trace" | grep -q '"grammar":"calc"' || {
   exit 1
 }
 echo "ok: trace spans retained"
+
+# The session edit's span must break down into the splice and reuse
+# stages (the PATCH above ran both under -trace-sample 1).
+TRACE="$(curl -fsS "$BASE/v1/trace")"
+echo "$TRACE" | grep -q '"request_id":"smoke-splice"' || {
+  echo "FAIL: /v1/trace has no span for the session edit" >&2
+  exit 1
+}
+for stage in splice reuse; do
+  echo "$TRACE" | grep -q "\"$stage\":" || {
+    echo "FAIL: session edit span missing stage $stage" >&2
+    exit 1
+  }
+done
+echo "ok: splice/reuse trace stages present"
 
 echo "observability smoke passed"
