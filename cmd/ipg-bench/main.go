@@ -18,6 +18,7 @@
 //
 //	ipg-bench [-testdata dir] [-repeat n]
 //	ipg-bench -engines [-json BENCH_pr5.json]
+//	ipg-bench -edits | -churn
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 	repeat := flag.Int("repeat", 5, "repetitions per cell (minimum is kept)")
 	engines := flag.Bool("engines", false, "run the cross-engine comparison instead of Fig 7.1")
 	edits := flag.Bool("edits", false, "run the edit workload (incremental reparse vs from-scratch) instead of Fig 7.1")
+	churn := flag.Bool("churn", false, "run the churn workload (in-place LALR table repair vs regeneration) instead of Fig 7.1")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (-engines mode)")
 	baseline := flag.String("baseline", "", "embed a prior -json report under \"baseline\" for before/after comparison (-engines mode)")
 	goBench := flag.String("gobench", "", "embed parsed `go test -bench -benchmem` output under \"go_bench\" (-engines mode)")
@@ -56,6 +58,14 @@ func main() {
 			log.Fatal(err)
 		}
 		printEdits(results)
+		return
+	}
+	if *churn {
+		results, err := harness.RunChurn(*dir, *repeat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printChurn(results)
 		return
 	}
 
@@ -101,6 +111,11 @@ type engineReport struct {
 	// harness.RunEdits). The ≥5× reparse gate in internal/harness reads
 	// the committed artifact's ASF.sdf single-token rows.
 	Edits []harness.EditResult `json:"edits,omitempty"`
+	// Churn is the grammar-churn workload: in-place LALR(1) table repair
+	// vs full regeneration per single-rule update over the SDF fixtures
+	// (see harness.RunChurn). The ≥5× repair gate in internal/harness
+	// reads the committed artifact's SDF.sdf rows.
+	Churn []harness.ChurnResult `json:"churn,omitempty"`
 	// GoBench carries parsed `go test -bench -benchmem` rows (-gobench),
 	// so the repo-level benchmarks (BenchmarkConcurrentParse,
 	// BenchmarkEngines) ride in the same perf-trajectory artifact.
@@ -207,12 +222,19 @@ func runEngines(dir string, repeat int, jsonPath, baselinePath, goBenchPath stri
 	fmt.Println()
 	printEdits(editResults)
 
+	churnResults, err := harness.RunChurn(dir, repeat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	printChurn(churnResults)
+
 	if jsonPath == "" {
 		return
 	}
 	report := engineReport{
 		Bench: "engines", Go: runtime.Version(), Arch: runtime.GOARCH,
-		Repeat: repeat, Results: results, Edits: editResults,
+		Repeat: repeat, Results: results, Edits: editResults, Churn: churnResults,
 	}
 	if goBenchPath != "" {
 		rows, err := parseGoBench(goBenchPath)
@@ -254,6 +276,30 @@ func printEdits(results []harness.EditResult) {
 			r.EditPos, r.EditLen,
 			fmtDur(time.Duration(r.FullNS)), fmtDur(time.Duration(r.ReparseNS)),
 			r.Speedup, r.SetsReused, r.SetsRebuilt, r.AllocsPerOp)
+	}
+}
+
+func printChurn(results []harness.ChurnResult) {
+	fmt.Println("Churn workload — in-place LALR(1) table repair vs full regeneration")
+	fmt.Println("(one fresh-terminal rule added+deleted per nonterminal; affected = damage-set size)")
+	fmt.Println()
+	current := ""
+	for _, r := range results {
+		if r.Fixture != current {
+			current = r.Fixture
+			fmt.Printf("%s (%d states)\n", r.Fixture, r.States)
+			fmt.Printf("  %-24s %8s %9s %12s %12s %8s %10s\n",
+				"nonterminal", "affected", "rederived", "repair", "regen", "speedup", "allocs/op")
+		}
+		if r.FellBack {
+			fmt.Printf("  %-24s %8d %9s %12s %12s %8s %10s\n",
+				r.Nonterminal, r.Affected, "-", "fell back", fmtDur(time.Duration(r.RegenNS)), "-", "-")
+			continue
+		}
+		fmt.Printf("  %-24s %8d %9d %12s %12s %7.1fx %10d\n",
+			r.Nonterminal, r.Affected, r.Rederived,
+			fmtDur(time.Duration(r.RepairNS)), fmtDur(time.Duration(r.RegenNS)),
+			r.Speedup, r.RepairAllocs)
 	}
 }
 

@@ -65,48 +65,7 @@ func (gen *Generator) MarkSweep() int {
 
 func (gen *Generator) markSweepLocked() int {
 	gen.Sweeps++
-	start := gen.auto.Start()
-	reachable := map[*lr.State]bool{start: true}
-	queue := []*lr.State{start}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
-		visit := func(succ *lr.State) {
-			if !reachable[succ] {
-				reachable[succ] = true
-				queue = append(queue, succ)
-			}
-		}
-		for _, succ := range s.Transitions {
-			visit(succ)
-		}
-		for _, succ := range s.OldTransitions {
-			visit(succ)
-		}
-	}
-
-	removed := 0
-	for _, s := range gen.auto.States() {
-		if !reachable[s] {
-			gen.auto.Remove(s)
-			removed++
-		}
-	}
-	// Recompute reference counts of the survivors (this also repairs any
-	// drift from cycles the counts could not see).
-	for s := range reachable {
-		s.RefCount = 0
-	}
-	start.RefCount = 1 // permanent root reference
-	for s := range reachable {
-		for _, succ := range s.Transitions {
-			succ.RefCount++
-		}
-		for _, succ := range s.OldTransitions {
-			succ.RefCount++
-		}
-	}
-	return removed
+	return len(gen.auto.SweepUnreachable())
 }
 
 // maybeSweep triggers MarkSweep when the fraction of dirty states exceeds

@@ -288,6 +288,13 @@ type Counters struct {
 	// StatesInvalidated counts states made initial or dirty by grammar
 	// modifications.
 	StatesInvalidated uint64
+	// StatesRepaired counts states spliced in place by an incremental
+	// table repair (re-expanded affected states plus states the repair
+	// created); only the eager table engines report it.
+	StatesRepaired uint64
+	// RepairFallbacks counts rule updates a table repair declined (or
+	// disavowed), forcing a full regeneration.
+	RepairFallbacks uint64
 	// ParsesServed counts BeginParse/EndParse pairs.
 	ParsesServed uint64
 }
@@ -300,6 +307,8 @@ func (c Counters) Plus(d Counters) Counters {
 		CacheHits:         c.CacheHits + d.CacheHits,
 		StatesExpanded:    c.StatesExpanded + d.StatesExpanded,
 		StatesInvalidated: c.StatesInvalidated + d.StatesInvalidated,
+		StatesRepaired:    c.StatesRepaired + d.StatesRepaired,
+		RepairFallbacks:   c.RepairFallbacks + d.RepairFallbacks,
 		ParsesServed:      c.ParsesServed + d.ParsesServed,
 	}
 }

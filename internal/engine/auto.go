@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -21,10 +22,13 @@ import (
 //   - lazy GLR otherwise — ambiguous or conflicted grammars keep the
 //     paper's machinery, including incremental updates and snapshots;
 //   - Earley when the entry's recent update-rate/parse-rate ratio
-//     crosses the churn threshold: a tenant editing its grammar faster
-//     than it parses pays nothing per update on the table-free backend,
-//     and rejoins a table-driven one once parse traffic dominates again
-//     (hysteresis keeps the selection from flapping).
+//     crosses the churn threshold *and* the current backend cannot
+//     absorb updates by in-place repair: a tenant editing its grammar
+//     faster than it parses pays nothing per update on the table-free
+//     backend, and rejoins a table-driven one once parse traffic
+//     dominates again (hysteresis keeps the selection from flapping).
+//     LALR and LL repair their tables in place, so churn never evicts
+//     them from their fast deterministic drivers.
 //
 // After a rule update the grammar is re-probed: a modification can
 // move a grammar across the determinism boundary in either direction,
@@ -206,22 +210,17 @@ func (a *Auto) Counters() core.Counters {
 // TableInfo implements Engine.
 func (a *Auto) TableInfo() TableInfo { return a.current().TableInfo() }
 
-// AddRule implements Engine: the rule is applied, then the grammar is
-// re-probed. The selection may change — e.g. a rule that introduces a
-// conflict moves a LALR(1) grammar onto the lazy-GLR path, one that
-// breaks LL(1) moves an LL grammar to whichever backend now fits, and a
-// run of updates outpacing parses moves any grammar onto the table-free
-// Earley path.
-//
-// How the rule is applied depends on the selected backend. GLR splices
-// through its generator (the incremental update is kept if GLR stays
-// selected) and Earley updates under its own write lock (its parses
-// read the rule set token by token). The table-driven backends (LALR,
-// LL) mutate the grammar directly instead of calling their AddRule:
-// their in-flight parses read only the immutable table built earlier
-// and the symbol kinds — never the rule set — and going through the
-// backend would regenerate a table that reselectLocked's probe is about
-// to build (and keep) anyway.
+// AddRule implements Engine: the rule is applied through the selected
+// backend, and the grammar is re-probed only when the update could have
+// moved the verdict. Every backend now absorbs updates incrementally —
+// GLR splices through its generator, Earley updates its rule view, LALR
+// repairs the affected states in place, LL refills the damaged
+// prediction rows — so as long as the verdict visibly holds (LALR still
+// conflict-free, LL still accepting) the selection is stamped current
+// and no probe regenerates anything. A repaired update that does move
+// the verdict (a conflict appears in the LALR table, a rule is rolled
+// back as non-LL(1)) schedules the probe, which may carry the grammar
+// onto the lazy-GLR path.
 func (a *Auto) AddRule(r *grammar.Rule) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -231,17 +230,52 @@ func (a *Auto) AddRule(r *grammar.Rule) error {
 		if err := cur.AddRule(r); err != nil {
 			return err
 		}
+		a.noteUpdate()
+		a.reprobe.Store(true)
 	case *Earley:
 		if err := cur.AddRule(r); err != nil {
 			return err
 		}
+		a.noteUpdate()
+		a.reprobe.Store(true)
+	case *LALR:
+		if err := cur.AddRule(r); err != nil {
+			return err
+		}
+		a.noteUpdate()
+		if len(cur.Table().Conflicts()) > 0 {
+			a.reprobe.Store(true)
+		} else {
+			// Verdict unchanged: the repaired table is the one a probe
+			// would build, so stamp the selection current.
+			a.probeVersion = a.g.Version()
+		}
+	case *LL:
+		err := cur.AddRule(r)
+		if errors.Is(err, ll.ErrNotLL1) {
+			// The backend rolled the rule back to keep its table clean,
+			// but the auto contract is to apply the rule and follow the
+			// grammar wherever it goes: reapply directly and let the
+			// probe pick the backend that now fits.
+			if aerr := a.g.AddRule(r); aerr != nil {
+				return aerr
+			}
+			a.noteUpdate()
+			a.reprobe.Store(true)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		a.noteUpdate()
+		a.probeVersion = a.g.Version()
 	default:
 		if err := a.g.AddRule(r); err != nil {
 			return err
 		}
+		a.noteUpdate()
+		a.reprobe.Store(true)
 	}
-	a.noteUpdate()
-	a.reprobe.Store(true)
 	return nil
 }
 
@@ -260,7 +294,9 @@ func (a *Auto) lockRetiredEarley() func() {
 }
 
 // DeleteRule implements Engine; see AddRule for the per-backend
-// application strategy.
+// application strategy. A deletion can only shrink the LALR conflict
+// set and cannot break LL(1), so the table-driven backends keep their
+// repaired tables without a re-probe.
 func (a *Auto) DeleteRule(r *grammar.Rule) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -270,17 +306,37 @@ func (a *Auto) DeleteRule(r *grammar.Rule) error {
 		if err := cur.DeleteRule(r); err != nil {
 			return err
 		}
+		a.noteUpdate()
+		a.reprobe.Store(true)
 	case *Earley:
 		if err := cur.DeleteRule(r); err != nil {
 			return err
 		}
+		a.noteUpdate()
+		a.reprobe.Store(true)
+	case *LALR:
+		if err := cur.DeleteRule(r); err != nil {
+			return err
+		}
+		a.noteUpdate()
+		if len(cur.Table().Conflicts()) > 0 {
+			a.reprobe.Store(true)
+		} else {
+			a.probeVersion = a.g.Version()
+		}
+	case *LL:
+		if err := cur.DeleteRule(r); err != nil {
+			return err
+		}
+		a.noteUpdate()
+		a.probeVersion = a.g.Version()
 	default:
 		if _, err := a.g.DeleteRule(r); err != nil {
 			return err
 		}
+		a.noteUpdate()
+		a.reprobe.Store(true)
 	}
-	a.noteUpdate()
-	a.reprobe.Store(true)
 	return nil
 }
 
@@ -300,7 +356,7 @@ func (a *Auto) reselectLocked() {
 	a.reprobes.Add(1)
 	v := a.g.Version()
 	u, p := a.winUpdates.Load(), a.winParses.Load()
-	if u >= churnMinUpdates && float64(u) >= churnEnterRatio*float64(u+p) {
+	if a.churnJustifiesEarleyLocked() && u >= churnMinUpdates && float64(u) >= churnEnterRatio*float64(u+p) {
 		a.probeVersion = v
 		if _, isEarley := a.cur.(*Earley); !isEarley {
 			reason := fmt.Sprintf("auto: Earley — heavy rule churn (%d updates vs %d parses in window; table-free updates are free)", u, p)
@@ -322,6 +378,21 @@ func (a *Auto) reselectLocked() {
 		return
 	}
 	a.retireTo(next)
+}
+
+// churnJustifiesEarleyLocked reports whether heavy rule churn is worth
+// a switch to the table-free backend. Since LALR and LL absorb updates
+// by in-place table repair, churn no longer forces them off their fast
+// drivers: only backends whose per-update cost is not bounded by the
+// damage — lazy GLR, whose splice still re-expands eagerly-published
+// states — trade up to Earley under churn.
+func (a *Auto) churnJustifiesEarleyLocked() bool {
+	switch a.cur.(type) {
+	case *LALR, *LL:
+		return false
+	default:
+		return true
+	}
 }
 
 // retireTo banks the replaced backend's counters and installs next.

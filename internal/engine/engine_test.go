@@ -261,10 +261,11 @@ func TestGeneratorOf(t *testing.T) {
 	}
 }
 
-func TestLALRRegeneratesOnRuleUpdate(t *testing.T) {
+func TestLALRRepairsOnRuleUpdate(t *testing.T) {
 	g := loadFixture(t, "CalcDet.bnf")
 	e := NewLALR(g, "requested")
 	before := e.Counters()
+	tblBefore := e.Table()
 
 	mod, err := grammar.Parse(`F ::= "id"`, g.Symbols())
 	if err != nil {
@@ -274,8 +275,42 @@ func TestLALRRegeneratesOnRuleUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 	after := e.Counters()
-	if after.StatesInvalidated == before.StatesInvalidated {
-		t.Error("rule update did not record the table regeneration")
+	if after.StatesRepaired == before.StatesRepaired {
+		t.Error("rule update did not record the in-place repair")
+	}
+	if after.RepairFallbacks != 0 {
+		t.Errorf("adding F ::= id fell back to regeneration (%d fallbacks)", after.RepairFallbacks)
+	}
+	if e.Table() != tblBefore {
+		t.Error("repair replaced the table value; published pointers were invalidated")
+	}
+	if !strings.Contains(e.Reason(), "repaired in place") {
+		t.Errorf("Reason() = %q, want it to record the repair", e.Reason())
+	}
+	res, err := e.Parse(fixtures.Tokens(g, "id + n"), false)
+	if err != nil || !res.Accepted {
+		t.Fatalf("parse with the new rule: %v accepted=%v", err, res.Accepted)
+	}
+}
+
+func TestLLRepairsOnRuleUpdate(t *testing.T) {
+	g := loadFixture(t, "CalcLL.bnf")
+	e, err := NewLL(g, "requested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := grammar.Parse(`F ::= "id"`, g.Symbols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(mod.Rules()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Counters().StatesRepaired; got == 0 {
+		t.Error("rule update did not record any repaired prediction rows")
+	}
+	if !strings.Contains(e.Reason(), "repaired in place") {
+		t.Errorf("Reason() = %q, want it to record the repair", e.Reason())
 	}
 	res, err := e.Parse(fixtures.Tokens(g, "id + n"), false)
 	if err != nil || !res.Accepted {
@@ -307,17 +342,68 @@ func TestLLRollsBackConflictingRule(t *testing.T) {
 	}
 }
 
-func TestAutoPrefersEarleyUnderChurn(t *testing.T) {
+// TestAutoKeepsLALRUnderChurn pins the re-tuned churn heuristic: the
+// exact scenario that used to force a deterministic grammar onto Earley
+// (a burst of rule updates with no parse traffic) now stays on the LALR
+// fast path, because each update is absorbed by an in-place table
+// repair instead of a regeneration.
+func TestAutoKeepsLALRUnderChurn(t *testing.T) {
 	g := loadFixture(t, "CalcDet.bnf")
 	e := NewAuto(g, nil)
 	if e.Kind() != KindLALR {
 		t.Fatalf("initial selection %v, want lalr", e.Kind())
 	}
 
-	// A burst of rule updates with no parse traffic between them: the
-	// update/parse ratio crosses the churn threshold and auto must stop
-	// regenerating tables, moving the entry to the table-free backend.
 	mod, err := grammar.Parse(`F ::= "id"`, g.Symbols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := mod.Rules()[0]
+	for i := 0; i < 6; i++ {
+		if err := e.AddRule(rule); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.DeleteRule(rule); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Kind() != KindLALR {
+		t.Fatalf("after heavy churn: selection %v, want lalr (reason %q)", e.Kind(), e.Reason())
+	}
+	if !strings.Contains(e.Reason(), "repaired in place") {
+		t.Errorf("selection reason %q does not record the repairs", e.Reason())
+	}
+	c := e.Counters()
+	if c.StatesRepaired == 0 {
+		t.Error("churn burst recorded no repaired states")
+	}
+	if c.RepairFallbacks != 0 {
+		t.Errorf("churn burst fell back to regeneration %d times", c.RepairFallbacks)
+	}
+	// Repaired updates whose verdict visibly holds stamp the selection
+	// current instead of scheduling a probe; the whole burst must not
+	// have regenerated a single table.
+	if got := e.Reprobes(); got != 0 {
+		t.Errorf("churn burst triggered %d re-probes, want 0", got)
+	}
+	res, err := e.Parse(fixtures.Tokens(g, "n + n * n"), true)
+	if err != nil || !res.Accepted || res.Root == nil {
+		t.Fatalf("post-churn parse: err=%v accepted=%v root=%v", err, res.Accepted, res.Root)
+	}
+}
+
+// TestAutoPrefersEarleyUnderGLRChurn keeps the churn escape hatch for
+// the backend that still pays per update: a conflicted grammar on lazy
+// GLR moves to table-free Earley under heavy churn and rejoins GLR once
+// parse traffic dominates again.
+func TestAutoPrefersEarleyUnderGLRChurn(t *testing.T) {
+	g := grammar.MustParse(ambiguousText)
+	e := NewAuto(g, nil)
+	if e.Kind() != KindGLR {
+		t.Fatalf("initial selection %v, want glr", e.Kind())
+	}
+
+	mod, err := grammar.Parse(`E ::= "m"`, g.Symbols())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,23 +423,23 @@ func TestAutoPrefersEarleyUnderChurn(t *testing.T) {
 		t.Errorf("selection reason %q does not explain the churn verdict", e.Reason())
 	}
 	// The churn-selected backend is a full engine: trees still build.
-	res, err := e.Parse(fixtures.Tokens(g, "n + n * n"), true)
+	res, err := e.Parse(fixtures.Tokens(g, "n + n"), true)
 	if err != nil || !res.Accepted || res.Root == nil {
 		t.Fatalf("churn/earley parse: err=%v accepted=%v root=%v", err, res.Accepted, res.Root)
 	}
 	served := e.Counters().ParsesServed
 
 	// Parse traffic resumes: once the windowed ratio falls under the
-	// exit threshold, auto re-probes the tables and the deterministic
-	// grammar returns to the LALR fast path.
+	// exit threshold, auto re-probes the tables and the conflicted
+	// grammar returns to lazy GLR.
 	toks := fixtures.Tokens(g, "n + n")
 	for i := 0; i < 200; i++ {
 		if ok, err := e.Recognize(toks); err != nil || !ok {
 			t.Fatalf("parse %d under churn engine: %v %v", i, ok, err)
 		}
 	}
-	if e.Kind() != KindLALR {
-		t.Fatalf("after parse traffic resumed: selection %v, want lalr (reason %q)", e.Kind(), e.Reason())
+	if e.Kind() != KindGLR {
+		t.Fatalf("after parse traffic resumed: selection %v, want glr (reason %q)", e.Kind(), e.Reason())
 	}
 	if got := e.Counters().ParsesServed; got < served+200 {
 		t.Fatalf("ParsesServed regressed across churn exit: %d -> %d", served, got)

@@ -17,22 +17,29 @@ import (
 // deterministic LR parser (the fast path the paper's Yacc comparison
 // assumes); conflicted grammars fall back to the GSS parser over the
 // same table, which simply splits where the lookaheads still allow more
-// than one action. A grammar modification regenerates the table from
-// scratch — the construct-time asymmetry Fig 7.1 measures.
+// than one action. A grammar modification is spliced into the existing
+// table by lalr.Table.Repair — only the states whose closures contained
+// the modified nonterminal are touched — falling back to full
+// regeneration when the repair declines (START rules, oversized damage
+// frontiers, conflict-set changes).
 type LALR struct {
 	reason string
 
-	// mu guards tbl/g against regeneration racing parses.
+	// mu guards tbl/g against repairs/regenerations racing parses.
 	mu  sync.RWMutex
 	g   *grammar.Grammar
 	tbl *lalr.Table
 
 	parsesServed atomic.Uint64
-	// regenerated/invalidated map table rebuilds onto the shared counter
-	// vocabulary: a rebuild "invalidates" every old state and "expands"
-	// every new one.
+	// repairs map onto the shared counter vocabulary: a repair "expands"
+	// the states it re-expanded or created and "invalidates" those plus
+	// the swept orphans; a fallback rebuild invalidates every old state
+	// and expands every new one.
 	expanded    atomic.Uint64
 	invalidated atomic.Uint64
+	repaired    atomic.Uint64
+	fallbacks   atomic.Uint64
+	updates     atomic.Uint64
 }
 
 // NewLALR eagerly generates the LALR(1) table for g.
@@ -51,8 +58,17 @@ func newLALRFromTable(g *grammar.Grammar, tbl *lalr.Table, reason string) *LALR 
 // Kind implements Engine.
 func (e *LALR) Kind() Kind { return KindLALR }
 
-// Reason implements Engine.
-func (e *LALR) Reason() string { return e.reason }
+// Reason implements Engine. Once rule updates have been absorbed, the
+// reason records how: repaired in place vs regenerated.
+func (e *LALR) Reason() string {
+	u := e.updates.Load()
+	if u == 0 {
+		return e.reason
+	}
+	f := e.fallbacks.Load()
+	return fmt.Sprintf("%s — %d/%d rule updates repaired in place (%d regenerated)",
+		e.reason, u-f, u, f)
+}
 
 // Caps implements Engine.
 func (e *LALR) Caps() Caps { return CapsOf(KindLALR) }
@@ -87,13 +103,15 @@ func (e *LALR) Recognize(input []grammar.Symbol) (bool, error) {
 	return res.Accepted, err
 }
 
-// Counters implements Engine: parses served, plus table rebuilds mapped
-// onto the expanded/invalidated vocabulary.
+// Counters implements Engine: parses served, plus table repairs and
+// rebuilds mapped onto the expanded/invalidated/repaired vocabulary.
 func (e *LALR) Counters() core.Counters {
 	return core.Counters{
 		ParsesServed:      e.parsesServed.Load(),
 		StatesExpanded:    e.expanded.Load(),
 		StatesInvalidated: e.invalidated.Load(),
+		StatesRepaired:    e.repaired.Load(),
+		RepairFallbacks:   e.fallbacks.Load(),
 	}
 }
 
@@ -105,28 +123,46 @@ func (e *LALR) TableInfo() TableInfo {
 	return TableInfo{States: n, Complete: n}
 }
 
-// AddRule implements Engine by full regeneration: the old table is
-// discarded wholesale (every state "invalidated"), exactly the cost
-// model the paper contrasts IPG against.
+// AddRule implements Engine by splicing the new rule into the existing
+// table: only the affected states are re-expanded and only moved
+// lookaheads re-derived, so published state pointers stay valid and the
+// cost is proportional to the damage, not the grammar (the paper's claim,
+// applied to the Yacc baseline). Repairs the fall back regenerate.
 func (e *LALR) AddRule(r *grammar.Rule) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.g.AddRule(r); err != nil {
 		return fmt.Errorf("engine: lalr add rule: %w", err)
 	}
-	e.regenerateLocked()
+	e.updateLocked(r)
 	return nil
 }
 
-// DeleteRule implements Engine by full regeneration.
+// DeleteRule implements Engine by splicing, like AddRule.
 func (e *LALR) DeleteRule(r *grammar.Rule) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, err := e.g.DeleteRule(r); err != nil {
+	stored, err := e.g.DeleteRule(r)
+	if err != nil {
 		return fmt.Errorf("engine: lalr delete rule: %w", err)
 	}
-	e.regenerateLocked()
+	e.updateLocked(stored)
 	return nil
+}
+
+// updateLocked absorbs one already-applied grammar mutation: repair in
+// place when possible, full regeneration otherwise.
+func (e *LALR) updateLocked(r *grammar.Rule) {
+	e.updates.Add(1)
+	st := e.tbl.Repair(r)
+	if st.FellBack {
+		e.fallbacks.Add(1)
+		e.regenerateLocked()
+		return
+	}
+	e.repaired.Add(uint64(st.Affected + st.Created))
+	e.expanded.Add(uint64(st.Affected + st.Created))
+	e.invalidated.Add(uint64(st.Affected + st.Removed))
 }
 
 func (e *LALR) regenerateLocked() {

@@ -25,6 +25,11 @@ type LL struct {
 	tbl *ll.Table
 
 	parsesServed atomic.Uint64
+	// Rule updates are spliced by ll.Table.Repair: only damaged rows are
+	// refilled. rowsRepaired maps onto the repaired/expanded counter
+	// vocabulary; updates feeds the Reason diagnostic.
+	rowsRepaired atomic.Uint64
+	updates      atomic.Uint64
 }
 
 // NewLL generates the LL(1) table for g, failing with the conflict list
@@ -40,8 +45,16 @@ func NewLL(g *grammar.Grammar, reason string) (*LL, error) {
 // Kind implements Engine.
 func (e *LL) Kind() Kind { return KindLL }
 
-// Reason implements Engine.
-func (e *LL) Reason() string { return e.reason }
+// Reason implements Engine. Once rule updates have been absorbed, the
+// reason records that they were repaired in place.
+func (e *LL) Reason() string {
+	u := e.updates.Load()
+	if u == 0 {
+		return e.reason
+	}
+	return fmt.Sprintf("%s — %d rule updates repaired in place (%d rows refilled)",
+		e.reason, u, e.rowsRepaired.Load())
+}
 
 // Caps implements Engine.
 func (e *LL) Caps() Caps { return CapsOf(KindLL) }
@@ -84,9 +97,16 @@ func (e *LL) Recognize(input []grammar.Symbol) (bool, error) {
 	return res.Accepted, err
 }
 
-// Counters implements Engine.
+// Counters implements Engine: prediction rows refilled by repairs map
+// onto the repaired/expanded/invalidated vocabulary.
 func (e *LL) Counters() core.Counters {
-	return core.Counters{ParsesServed: e.parsesServed.Load()}
+	rows := e.rowsRepaired.Load()
+	return core.Counters{
+		ParsesServed:      e.parsesServed.Load(),
+		StatesExpanded:    rows,
+		StatesInvalidated: rows,
+		StatesRepaired:    rows,
+	}
 }
 
 // TableInfo implements Engine: one "state" per nonterminal row of the
@@ -98,34 +118,43 @@ func (e *LL) TableInfo() TableInfo {
 	return TableInfo{States: n, Complete: n}
 }
 
-// AddRule implements Engine by regenerating the prediction table. A rule
-// that makes the grammar non-LL(1) is rolled back and reported, so the
-// engine never serves a conflicted table.
+// AddRule implements Engine by repairing the prediction table in place:
+// only rows whose FIRST/FOLLOW inputs moved are refilled. A rule that
+// makes the grammar non-LL(1) is rolled back — with a second repair
+// restoring the previous rows — so the engine never serves a conflicted
+// table.
 func (e *LL) AddRule(r *grammar.Rule) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.g.AddRule(r); err != nil {
 		return fmt.Errorf("engine: ll add rule: %w", err)
 	}
-	tbl := ll.Generate(e.g)
-	if n := len(tbl.Conflicts()); n > 0 {
-		if _, derr := e.g.DeleteRule(r); derr != nil {
+	e.updates.Add(1)
+	st := e.tbl.Repair(r)
+	e.rowsRepaired.Add(uint64(st.RowsRepaired))
+	if n := len(e.tbl.Conflicts()); n > 0 {
+		stored, derr := e.g.DeleteRule(r)
+		if derr != nil {
 			return fmt.Errorf("engine: ll rollback after %d conflicts failed: %v", n, derr)
 		}
+		undo := e.tbl.Repair(stored)
+		e.rowsRepaired.Add(uint64(undo.RowsRepaired))
 		return fmt.Errorf("engine: rule makes the grammar non-LL(1) (%d conflicts), rolled back: %w", n, ll.ErrNotLL1)
 	}
-	e.tbl = tbl
 	return nil
 }
 
-// DeleteRule implements Engine by regeneration (deleting a rule cannot
-// introduce an LL(1) conflict, only remove one).
+// DeleteRule implements Engine by repairing in place (deleting a rule
+// cannot introduce an LL(1) conflict, only remove one).
 func (e *LL) DeleteRule(r *grammar.Rule) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, err := e.g.DeleteRule(r); err != nil {
+	stored, err := e.g.DeleteRule(r)
+	if err != nil {
 		return fmt.Errorf("engine: ll delete rule: %w", err)
 	}
-	e.tbl = ll.Generate(e.g)
+	e.updates.Add(1)
+	st := e.tbl.Repair(stored)
+	e.rowsRepaired.Add(uint64(st.RowsRepaired))
 	return nil
 }

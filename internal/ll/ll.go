@@ -10,6 +10,7 @@ package ll
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
@@ -23,47 +24,210 @@ type Conflict struct {
 	Rules []*grammar.Rule
 }
 
-// Table is an LL(1) parse table M[A, a] -> rule.
+// Table is an LL(1) parse table M[A, a] -> rule. It retains the FIRST/
+// NULLABLE/FOLLOW analyses it was generated from, so a rule update can be
+// Repaired by rebuilding only the rows whose prediction inputs moved.
 type Table struct {
 	g         *grammar.Grammar
 	m         map[grammar.Symbol]map[grammar.Symbol]*grammar.Rule
 	conflicts []Conflict
+	// rowConflicts holds each nonterminal's conflicts; the table-wide
+	// list is their concatenation in symbol order.
+	rowConflicts map[grammar.Symbol][]Conflict
+	// Cached analyses the current rows were filled from.
+	first  map[grammar.Symbol]grammar.SymbolSet
+	null   grammar.SymbolSet
+	follow map[grammar.Symbol]grammar.SymbolSet
 }
 
 // Generate builds the LL(1) table for g from FIRST and FOLLOW.
 func Generate(g *grammar.Grammar) *Table {
-	t := &Table{g: g, m: map[grammar.Symbol]map[grammar.Symbol]*grammar.Rule{}}
-	first := g.FirstSets()
-	null := g.Nullable()
-	follow := g.FollowSets()
+	t := &Table{
+		g:            g,
+		m:            map[grammar.Symbol]map[grammar.Symbol]*grammar.Rule{},
+		rowConflicts: map[grammar.Symbol][]Conflict{},
+	}
+	t.first = g.FirstSets()
+	t.null = g.Nullable()
+	t.follow = g.FollowSets()
+	for _, a := range g.Symbols().Nonterminals() {
+		if len(g.RulesFor(a)) > 0 {
+			t.fillRow(a)
+		}
+	}
+	t.assembleConflicts()
+	return t
+}
 
-	set := func(a, la grammar.Symbol, r *grammar.Rule) {
+// fillRow rebuilds the prediction row of one nonterminal — cells and
+// conflicts — from the cached analyses. Rules are processed in grammar
+// insertion order, so a repaired row is identical to a regenerated one.
+func (t *Table) fillRow(a grammar.Symbol) {
+	delete(t.m, a)
+	delete(t.rowConflicts, a)
+	set := func(la grammar.Symbol, r *grammar.Rule) {
 		row, ok := t.m[a]
 		if !ok {
 			row = map[grammar.Symbol]*grammar.Rule{}
 			t.m[a] = row
 		}
 		if prev, ok := row[la]; ok && prev != r {
-			t.conflicts = append(t.conflicts, Conflict{
+			t.rowConflicts[a] = append(t.rowConflicts[a], Conflict{
 				Nonterminal: a, Lookahead: la, Rules: []*grammar.Rule{prev, r},
 			})
 			return
 		}
 		row[la] = r
 	}
-
-	for _, r := range g.Rules() {
-		fs, nullableRHS := g.FirstOfString(r.Rhs, first, null)
-		for a := range fs {
-			set(r.Lhs, a, r)
+	for _, r := range t.g.RulesFor(a) {
+		fs, nullableRHS := t.g.FirstOfString(r.Rhs, t.first, t.null)
+		for la := range fs {
+			set(la, r)
 		}
 		if nullableRHS {
-			for b := range follow[r.Lhs] {
-				set(r.Lhs, b, r)
+			for la := range t.follow[a] {
+				set(la, r)
 			}
 		}
 	}
-	return t
+}
+
+// assembleConflicts rebuilds the table-wide conflict list from the
+// per-row lists, in (nonterminal, lookahead) order.
+func (t *Table) assembleConflicts() {
+	t.conflicts = t.conflicts[:0]
+	rows := make([]grammar.Symbol, 0, len(t.rowConflicts))
+	for a := range t.rowConflicts {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	for _, a := range rows {
+		cs := append([]Conflict(nil), t.rowConflicts[a]...)
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Lookahead < cs[j].Lookahead })
+		t.conflicts = append(t.conflicts, cs...)
+	}
+}
+
+// RepairStats reports what one Repair did: how many prediction rows were
+// rebuilt vs kept verbatim, and whether the conflict set moved.
+type RepairStats struct {
+	RowsRepaired     int
+	RowsKept         int
+	ConflictsChanged bool
+}
+
+// Repair splices a single rule update into the table after the grammar
+// has already been mutated (AddRule or DeleteRule of rule): the analyses
+// are recomputed (they are global fixpoints, cheap next to row filling),
+// and only the rows whose prediction inputs moved — the modified
+// nonterminal itself, rows with a FIRST-of-RHS change, and nullable rows
+// whose FOLLOW changed — are refilled. The result is cell-identical to a
+// from-scratch Generate; unlike the LALR repair there is no structural
+// state to splice, so Repair never declines.
+func (t *Table) Repair(rule *grammar.Rule) RepairStats {
+	g := t.g
+	before := t.conflictKeys()
+	newFirst, newNull, newFollow := g.FirstSets(), g.Nullable(), g.FollowSets()
+
+	damaged := map[grammar.Symbol]bool{rule.Lhs: true}
+	for _, r := range g.Rules() {
+		if damaged[r.Lhs] {
+			continue
+		}
+		oldFs, oldNullable := g.FirstOfString(r.Rhs, t.first, t.null)
+		newFs, newNullable := g.FirstOfString(r.Rhs, newFirst, newNull)
+		if oldNullable != newNullable || !equalSets(oldFs, newFs) {
+			damaged[r.Lhs] = true
+			continue
+		}
+		if newNullable && !equalSets(t.follow[r.Lhs], newFollow[r.Lhs]) {
+			damaged[r.Lhs] = true
+		}
+	}
+	t.first, t.null, t.follow = newFirst, newNull, newFollow
+
+	rows := 0
+	for _, a := range g.Symbols().Nonterminals() {
+		if len(g.RulesFor(a)) > 0 {
+			rows++
+		}
+	}
+	for a := range damaged {
+		t.fillRow(a)
+	}
+	t.assembleConflicts()
+	st := RepairStats{RowsRepaired: len(damaged), RowsKept: rows - len(damaged)}
+	if st.RowsKept < 0 {
+		st.RowsKept = 0
+	}
+	st.ConflictsChanged = !equalStrings(before, t.conflictKeys())
+	return st
+}
+
+// conflictKeys renders the conflict set canonically for comparison.
+func (t *Table) conflictKeys() []string {
+	out := make([]string, 0, len(t.conflicts))
+	for _, c := range t.conflicts {
+		k := fmt.Sprintf("%d|%d", c.Nonterminal, c.Lookahead)
+		for _, r := range c.Rules {
+			k += "|" + r.Key()
+		}
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Signature renders the whole table — rows, cells, conflicts — in a
+// canonical order, so a repaired table can be compared cell-for-cell
+// against a from-scratch regeneration.
+func (t *Table) Signature() string {
+	var b strings.Builder
+	rows := make([]grammar.Symbol, 0, len(t.m))
+	for a := range t.m {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	for _, a := range rows {
+		fmt.Fprintf(&b, "%d:\n", a)
+		las := make([]grammar.Symbol, 0, len(t.m[a]))
+		for la := range t.m[a] {
+			las = append(las, la)
+		}
+		sort.Slice(las, func(i, j int) bool { return las[i] < las[j] })
+		for _, la := range las {
+			fmt.Fprintf(&b, "  %d -> %s\n", la, t.m[a][la].Key())
+		}
+	}
+	b.WriteString("conflicts:\n")
+	for _, k := range t.conflictKeys() {
+		b.WriteString("  " + k + "\n")
+	}
+	return b.String()
+}
+
+func equalSets(a, b grammar.SymbolSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s := range a {
+		if !b.Has(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Conflicts returns the LL(1) conflicts; the grammar is LL(1) iff empty.

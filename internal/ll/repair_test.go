@@ -1,0 +1,194 @@
+package ll
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipg/internal/grammar"
+)
+
+// expectRowParity asserts the repaired table is cell-identical to a
+// from-scratch generation of the same grammar.
+func expectRowParity(t *testing.T, tbl *Table, g *grammar.Grammar, step string) {
+	t.Helper()
+	if got, want := tbl.Signature(), Generate(g).Signature(); got != want {
+		t.Fatalf("%s: repaired table diverges from regeneration\n--- repaired ---\n%s\n--- regenerated ---\n%s", step, got, want)
+	}
+}
+
+// TestLLRepairParity walks a table through adds and deletes — including
+// a nullable rule (FOLLOW-driven cells), a fresh nonterminal, and a
+// conflict-introducing alternative — asserting cell parity after every
+// repair.
+func TestLLRepairParity(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= S
+S ::= "a" A "b"
+A ::= "x" | ε
+`)
+	tbl := Generate(g)
+	if len(tbl.Conflicts()) != 0 {
+		t.Fatal("base grammar should be LL(1)")
+	}
+	syms := g.Symbols()
+	s := syms.MustIntern("S", grammar.Nonterminal)
+	a := syms.MustIntern("A", grammar.Nonterminal)
+	y := syms.MustIntern("y", grammar.Terminal)
+	c := syms.MustIntern("c", grammar.Terminal)
+	z := syms.MustIntern("Z", grammar.Nonterminal)
+
+	steps := []struct {
+		name string
+		rule *grammar.Rule
+		del  bool
+	}{
+		{"add A ::= y", grammar.NewRule(a, y), false},
+		{"add S ::= c Z", grammar.NewRule(s, c, z), false},
+		{"add Z ::= epsilon (changes FOLLOW usage)", grammar.NewRule(z), false},
+		{"add Z ::= y (conflicts with epsilon? no - FIRST y vs FOLLOW $)", grammar.NewRule(z, y), false},
+		{"add A ::= epsilon duplicate lookaheads (conflict)", grammar.NewRule(a, c), false},
+		{"delete A ::= c", grammar.NewRule(a, c), true},
+		{"delete Z ::= y", grammar.NewRule(z, y), true},
+		{"delete Z ::= epsilon", grammar.NewRule(z), true},
+		{"delete S ::= c Z", grammar.NewRule(s, c, z), true},
+		{"delete A ::= y", grammar.NewRule(a, y), true},
+	}
+	for _, step := range steps {
+		r := step.rule
+		if step.del {
+			stored, err := g.DeleteRule(r)
+			if err != nil {
+				t.Fatalf("%s: %v", step.name, err)
+			}
+			r = stored
+		} else {
+			if err := g.AddRule(r); err != nil {
+				t.Fatalf("%s: %v", step.name, err)
+			}
+		}
+		st := tbl.Repair(r)
+		if st.RowsRepaired == 0 {
+			t.Fatalf("%s: repair touched no rows", step.name)
+		}
+		expectRowParity(t, tbl, g, step.name)
+	}
+	if n := len(tbl.Conflicts()); n != 0 {
+		t.Fatalf("round-tripped grammar has %d conflicts", n)
+	}
+}
+
+// TestLLRepairKeepsRows pins the delta property: an update localized to
+// one nonterminal must not refill unrelated rows.
+func TestLLRepairKeepsRows(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= S
+S ::= A B C
+A ::= "a"
+B ::= "b"
+C ::= "c"
+`)
+	tbl := Generate(g)
+	syms := g.Symbols()
+	c := syms.MustIntern("C", grammar.Nonterminal)
+	d := syms.MustIntern("d", grammar.Terminal)
+	r := grammar.NewRule(c, d)
+	if err := g.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	st := tbl.Repair(r)
+	// Only C's row moves: FIRST(C) gains d, but d reaches no other rule's
+	// FIRST-of-RHS (A, B, S, START prefixes are all unchanged terminals).
+	if st.RowsRepaired != 1 || st.ConflictsChanged {
+		t.Fatalf("expected exactly one repaired row, got %+v", st)
+	}
+	if st.RowsKept < 3 {
+		t.Fatalf("expected unrelated rows kept, got %+v", st)
+	}
+	expectRowParity(t, tbl, g, "add C ::= d")
+}
+
+// TestLLRepairConflictFlag asserts ConflictsChanged reports transitions
+// in both directions.
+func TestLLRepairConflictFlag(t *testing.T) {
+	g := grammar.MustParse(`
+START ::= S
+S ::= "a" "b"
+`)
+	tbl := Generate(g)
+	syms := g.Symbols()
+	s := syms.MustIntern("S", grammar.Nonterminal)
+	a := syms.MustIntern("a", grammar.Terminal)
+	c := syms.MustIntern("c", grammar.Terminal)
+	r := grammar.NewRule(s, a, c)
+	if err := g.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	st := tbl.Repair(r)
+	if !st.ConflictsChanged || len(tbl.Conflicts()) == 0 {
+		t.Fatalf("adding the ambiguous alternative should flag conflicts, got %+v", st)
+	}
+	stored, err := g.DeleteRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = tbl.Repair(stored)
+	if !st.ConflictsChanged || len(tbl.Conflicts()) != 0 {
+		t.Fatalf("deleting it should clear conflicts, got %+v", st)
+	}
+	expectRowParity(t, tbl, g, "roundtrip")
+}
+
+// TestLLRepairParityRandom is the randomized differential for the LL
+// repair: random add/delete sequences, cell parity after every step.
+func TestLLRepairParityRandom(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := grammar.Random(grammar.RandConfig{Nonterminals: 4, Terminals: 3, Rules: 8}, rng)
+		tbl := Generate(g)
+		var nts, pool []grammar.Symbol
+		for _, n := range g.Symbols().Nonterminals() {
+			if n != g.Start() {
+				nts = append(nts, n)
+				pool = append(pool, n)
+			}
+		}
+		for _, s := range g.Symbols().Terminals() {
+			if s != grammar.EOF {
+				pool = append(pool, s)
+			}
+		}
+		for step := 0; step < 12; step++ {
+			if rng.Intn(2) == 0 || g.Len() <= 1 {
+				lhs := nts[rng.Intn(len(nts))]
+				rhs := make([]grammar.Symbol, rng.Intn(4))
+				for i := range rhs {
+					rhs[i] = pool[rng.Intn(len(pool))]
+				}
+				r := grammar.NewRule(lhs, rhs...)
+				if g.Has(r) {
+					continue
+				}
+				if err := g.AddRule(r); err != nil {
+					t.Fatal(err)
+				}
+				tbl.Repair(r)
+			} else {
+				var candidates []*grammar.Rule
+				for _, r := range g.Rules() {
+					if r.Lhs != g.Start() {
+						candidates = append(candidates, r)
+					}
+				}
+				if len(candidates) == 0 {
+					continue
+				}
+				stored, err := g.DeleteRule(candidates[rng.Intn(len(candidates))])
+				if err != nil {
+					t.Fatal(err)
+				}
+				tbl.Repair(stored)
+			}
+			expectRowParity(t, tbl, g, "seed/step")
+		}
+	}
+}

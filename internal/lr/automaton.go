@@ -284,6 +284,61 @@ func GotoOf(s *State, sym grammar.Symbol) *State {
 	return succ
 }
 
+// SweepUnreachable removes every state unreachable from the start state
+// and recomputes the reference counts of the survivors. Reachability
+// follows current transitions of complete states and the history of
+// dirty states (which may be re-linked by later re-expansions). This is
+// the "conventional mark-and-sweep garbage collector" the paper proposes
+// for cyclic garbage, which reference counting admittedly cannot
+// reclaim; the incremental table-repair paths also use it to reclaim
+// orphan chains after splicing. The removed states are returned (order
+// unspecified); the caller owns any synchronization.
+func (a *Automaton) SweepUnreachable() []*State {
+	reachable := map[*State]bool{a.start: true}
+	queue := []*State{a.start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		visit := func(succ *State) {
+			if !reachable[succ] {
+				reachable[succ] = true
+				queue = append(queue, succ)
+			}
+		}
+		for _, succ := range s.Transitions {
+			visit(succ)
+		}
+		for _, succ := range s.OldTransitions {
+			visit(succ)
+		}
+	}
+
+	var removed []*State
+	for _, s := range a.states {
+		if !reachable[s] {
+			removed = append(removed, s)
+		}
+	}
+	for _, s := range removed {
+		a.Remove(s)
+	}
+	// Recompute reference counts of the survivors (this also repairs any
+	// drift from cycles the counts could not see).
+	for s := range reachable {
+		s.RefCount = 0
+	}
+	a.start.RefCount = 1 // permanent root reference
+	for s := range reachable {
+		for _, succ := range s.Transitions {
+			succ.RefCount++
+		}
+		for _, succ := range s.OldTransitions {
+			succ.RefCount++
+		}
+	}
+	return removed
+}
+
 // TypeCounts returns how many states are initial, complete and dirty —
 // the lazy-coverage measurement of section 5.2 reads these.
 func (a *Automaton) TypeCounts() (initial, complete, dirty int) {

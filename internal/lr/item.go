@@ -56,8 +56,10 @@ func (it Item) Advance() Item {
 	return Item{Rule: it.Rule, Dot: it.Dot + 1}
 }
 
-// key is the item's value identity: rule value key plus dot.
-func (it Item) key() string {
+// Key is the item's value identity: rule value key plus dot. The LALR
+// lookahead machinery keys its closure bookkeeping on it, so it is
+// exported (and cheaper than String, which resolves symbol names).
+func (it Item) Key() string {
 	return it.Rule.Key() + "@" + strconv.Itoa(it.Dot)
 }
 
@@ -87,12 +89,12 @@ type Kernel []Item
 func NewKernel(items []Item) Kernel {
 	k := make(Kernel, len(items))
 	copy(k, items)
-	sort.Slice(k, func(i, j int) bool { return k[i].key() < k[j].key() })
+	sort.Slice(k, func(i, j int) bool { return k[i].Key() < k[j].Key() })
 	// Deduplicate (equal value keys).
 	out := k[:0]
 	prev := ""
 	for _, it := range k {
-		ik := it.key()
+		ik := it.Key()
 		if ik == prev {
 			continue
 		}
@@ -109,20 +111,29 @@ func (k Kernel) Key() string {
 		if i > 0 {
 			b.WriteByte('|')
 		}
-		b.WriteString(it.key())
+		b.WriteString(it.Key())
 	}
 	return b.String()
 }
 
 // Contains reports whether the kernel contains an item value-equal to it.
 func (k Kernel) Contains(it Item) bool {
-	want := it.key()
-	for _, x := range k {
-		if x.key() == want {
-			return true
+	return k.Index(it) >= 0
+}
+
+// Index returns the position of the item value-equal to it in the
+// canonical kernel order, or -1 when absent. The LALR propagation
+// network addresses lookahead slots by (state, kernel index); since a
+// state's kernel is its identity, those indices are stable for the
+// state's whole lifetime.
+func (k Kernel) Index(it Item) int {
+	want := it.Key()
+	for i, x := range k {
+		if x.Key() == want {
+			return i
 		}
 	}
-	return false
+	return -1
 }
 
 // String renders the kernel one item per line in canonical order.
@@ -147,7 +158,7 @@ func Closure(g *grammar.Grammar, kernel []Item) []Item {
 	closure := make([]Item, 0, len(kernel)*2)
 	seen := make(map[string]bool, len(kernel)*2)
 	add := func(it Item) {
-		k := it.key()
+		k := it.Key()
 		if seen[k] {
 			return
 		}

@@ -45,9 +45,13 @@ const (
 	// StageReuse is the incremental reparse of a document session —
 	// chart truncation to the damage point plus the resumed drive.
 	StageReuse
+	// StageRepair is incremental table repair on a rule update: the
+	// affected-state damage computation plus the in-place splice (or the
+	// full regeneration a declined repair falls back to).
+	StageRepair
 
 	// NumStages is the number of lifecycle stages.
-	NumStages = 8
+	NumStages = 9
 )
 
 // String names the stage as used in trace JSON and logs.
@@ -69,6 +73,8 @@ func (s Stage) String() string {
 		return "splice"
 	case StageReuse:
 		return "reuse"
+	case StageRepair:
+		return "repair"
 	default:
 		return "unknown"
 	}
@@ -93,6 +99,12 @@ type Span struct {
 	// Accepted/Err describe the outcome.
 	Accepted bool
 	Err      string
+	// RepairedStates and RepairFallbacks describe table repairs absorbed
+	// during the span (rule-update requests): how many states the
+	// in-place splices touched, and how many updates declined repair and
+	// regenerated instead. Zero for plain parses.
+	RepairedStates  int
+	RepairFallbacks int
 	// Sampled marks spans captured by the 1-in-N sampler; Slow marks
 	// spans retained because Total crossed the slow-parse threshold.
 	// A span can be both.
@@ -128,6 +140,17 @@ func (t *ParseTrace) EndStage(s Stage) {
 	}
 	t.span.Stages[s] += time.Since(t.starts[s])
 	t.starts[s] = time.Time{}
+}
+
+// AddRepair accumulates one table repair's outcome into the span: the
+// states the in-place splice touched and whether the repair declined
+// and fell back to regeneration. No-op on a nil trace.
+func (t *ParseTrace) AddRepair(states, fallbacks int) {
+	if t == nil {
+		return
+	}
+	t.span.RepairedStates += states
+	t.span.RepairFallbacks += fallbacks
 }
 
 // SetEngine records the concrete backend that served the parse (auto

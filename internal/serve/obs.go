@@ -100,6 +100,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	perGrammar("ipg_rule_updates_total", obs.TypeCounter,
 		"Incremental rule additions and deletions applied.",
 		func(st registry.Stats) float64 { return float64(st.RuleUpdates) })
+	perGrammar("ipg_table_states_repaired_total", obs.TypeCounter,
+		"Table states spliced in place by incremental repair on rule updates.",
+		func(st registry.Stats) float64 { return float64(st.Counters.StatesRepaired) })
+	perGrammar("ipg_table_repair_fallbacks_total", obs.TypeCounter,
+		"Rule updates whose table repair declined and regenerated from scratch.",
+		func(st registry.Stats) float64 { return float64(st.Counters.RepairFallbacks) })
 	perGrammar("ipg_engine_reprobes_total", obs.TypeCounter,
 		"Auto-engine re-probe passes (churn-aware backend reselection).",
 		func(st registry.Stats) float64 { return float64(st.EngineReprobes) })
@@ -137,6 +143,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, st := range stats {
 		h := st.Latency
 		lat.Histogram(latencyBoundsSeconds, h.Buckets[:len(latencyBoundsSeconds)],
+			h.Buckets[registry.LatencyBuckets-1], float64(h.SumUS)/1e6, h.Count,
+			"grammar", st.Name, "engine", st.Engine.String())
+	}
+
+	repairLat := p.Family("ipg_table_repair_seconds", obs.TypeHistogram,
+		"Rule-update latency per grammar: incremental table repairs and fallback regenerations (power-of-two buckets).")
+	for _, st := range stats {
+		h := st.RepairLatency
+		repairLat.Histogram(latencyBoundsSeconds, h.Buckets[:len(latencyBoundsSeconds)],
 			h.Buckets[registry.LatencyBuckets-1], float64(h.SumUS)/1e6, h.Count,
 			"grammar", st.Name, "engine", st.Engine.String())
 	}
@@ -218,6 +233,10 @@ type SpanInfo struct {
 	Stages   map[string]int64 `json:"stages_us,omitempty"`
 	Accepted bool             `json:"accepted"`
 	Error    string           `json:"error,omitempty"`
+	// RepairedStates/RepairFallbacks describe table repairs absorbed by
+	// the span (rule-update requests); omitted for plain parses.
+	RepairedStates  int `json:"repaired_states,omitempty"`
+	RepairFallbacks int `json:"repair_fallbacks,omitempty"`
 	// Sampled marks spans the 1-in-N sampler kept; Slow marks
 	// slow-threshold outliers. A span can be both.
 	Sampled bool `json:"sampled"`
@@ -251,6 +270,9 @@ func spanInfoOf(sp obs.Span) SpanInfo {
 		Error:     sp.Err,
 		Sampled:   sp.Sampled,
 		Slow:      sp.Slow,
+
+		RepairedStates:  sp.RepairedStates,
+		RepairFallbacks: sp.RepairFallbacks,
 	}
 	for st, d := range sp.Stages {
 		if d > 0 {

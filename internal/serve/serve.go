@@ -423,6 +423,11 @@ type EntryInfo struct {
 	StatesInvalidated uint64  `json:"states_invalidated"`
 	ActionCalls       uint64  `json:"action_calls"`
 	CacheHitRate      float64 `json:"cache_hit_rate"`
+	// StatesRepaired counts table states spliced in place by incremental
+	// repair on rule updates; RepairFallbacks counts updates whose
+	// repair declined and regenerated the table from scratch.
+	StatesRepaired  uint64 `json:"states_repaired_total"`
+	RepairFallbacks uint64 `json:"repair_fallbacks_total"`
 	// Restored reports the entry resumed its table from a snapshot at
 	// registration instead of generating cold.
 	Restored bool `json:"restored_from_snapshot"`
@@ -462,6 +467,8 @@ func infoOf(st registry.Stats) EntryInfo {
 		StatesInvalidated:   st.Counters.StatesInvalidated,
 		ActionCalls:         st.Counters.ActionCalls,
 		CacheHitRate:        st.Counters.HitRate(),
+		StatesRepaired:      st.Counters.StatesRepaired,
+		RepairFallbacks:     st.Counters.RepairFallbacks,
 		Restored:            st.Restored,
 		InflightParses:      st.Inflight,
 		AdmissionRejected:   st.AdmissionRejected,
@@ -810,14 +817,20 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp RulesResponse
+	// Rule updates join the parse-lifecycle trace: repairs show up as
+	// the repair stage with their state counts on the span.
+	tr := s.tracer.StartParse(e.Name(), e.EngineKind().String(), obs.RequestID(r.Context()))
+	var updateErr error
+	defer func() { tr.Finish(updateErr == nil, updateErr) }()
 	fail := func(err error) {
+		updateErr = err
 		resp.Error = err.Error()
 		resp.Version = e.Version()
 		resp.Invalidated = e.Counters().StatesInvalidated
 		writeJSON(w, http.StatusUnprocessableEntity, resp)
 	}
 	if req.Delete != "" {
-		n, err := e.DeleteRulesText(req.Delete)
+		n, err := e.DeleteRulesTextTraced(req.Delete, tr)
 		resp.Deleted = n
 		if err != nil {
 			fail(err)
@@ -825,7 +838,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if req.Add != "" {
-		n, err := e.AddRulesText(req.Add)
+		n, err := e.AddRulesTextTraced(req.Add, tr)
 		resp.Added = n
 		if err != nil {
 			fail(err)

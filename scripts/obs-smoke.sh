@@ -75,6 +75,30 @@ curl -fsS "$BASE/v1/sessions/$SID/stat" | grep -q '"splices":1' || {
 }
 echo "ok: session open/splice/reparse/stat ($SID)"
 
+# Register the same grammar on the eager LALR backend and apply a rule
+# update (add then delete, leaving the grammar as it was): the engine
+# must absorb both by in-place table repair, which the repair metric
+# families and the repair trace stage below must reflect.
+curl -fsS -X PUT "$BASE/v1/grammars/calclalr" \
+  -d '{"engine":"lalr","source":"START ::= E\nE ::= E \"+\" T | E \"-\" T | T\nT ::= T \"*\" F | T \"/\" F | F\nF ::= \"n\" | \"(\" E \")\""}' \
+  | grep -q '"engine":"lalr"' || {
+  echo "FAIL: lalr grammar registration failed" >&2
+  exit 1
+}
+curl -fsS -X POST "$BASE/v1/grammars/calclalr/rules" \
+  -H 'X-Request-Id: smoke-rules' \
+  -d '{"add":"F ::= \"id\""}' | grep -q '"added":1' || {
+  echo "FAIL: rule add not applied" >&2
+  exit 1
+}
+curl -fsS -X POST "$BASE/v1/grammars/calclalr/rules" \
+  -H 'X-Request-Id: smoke-rules-del' \
+  -d '{"delete":"F ::= \"id\""}' | grep -q '"deleted":1' || {
+  echo "FAIL: rule delete not applied" >&2
+  exit 1
+}
+echo "ok: rule update applied on lalr backend (add+delete roundtrip)"
+
 # The exposition must carry every required family.
 METRICS="$(curl -fsS "$BASE/metrics")"
 for fam in \
@@ -88,6 +112,9 @@ for fam in \
   ipg_states_invalidated_total \
   ipg_action_calls_total \
   ipg_rule_updates_total \
+  ipg_table_states_repaired_total \
+  ipg_table_repair_fallbacks_total \
+  ipg_table_repair_seconds \
   ipg_engine_reprobes_total \
   ipg_admission_rejected_total \
   ipg_inflight_parses \
@@ -150,5 +177,29 @@ for stage in splice reuse; do
   }
 done
 echo "ok: splice/reuse trace stages present"
+
+# The rule updates above must have repaired states in place (never
+# falling back) and left a traced span carrying the repair stage.
+echo "$METRICS" | grep -q 'ipg_table_states_repaired_total{grammar="calclalr",engine="lalr"' || {
+  echo "FAIL: no per-grammar repaired-states series after a rule update" >&2
+  exit 1
+}
+echo "$METRICS" | grep 'ipg_table_states_repaired_total{grammar="calclalr"' | grep -qv ' 0$' || {
+  echo "FAIL: rule update repaired zero states" >&2
+  exit 1
+}
+echo "$TRACE" | grep -q '"request_id":"smoke-rules"' || {
+  echo "FAIL: /v1/trace has no span for the rule update" >&2
+  exit 1
+}
+echo "$TRACE" | grep -q '"repair":' || {
+  echo "FAIL: rule-update span missing stage repair" >&2
+  exit 1
+}
+echo "$TRACE" | grep -q '"repaired_states":' || {
+  echo "FAIL: rule-update span carries no repaired-state count" >&2
+  exit 1
+}
+echo "ok: table repair metrics + trace stage present"
 
 echo "observability smoke passed"
