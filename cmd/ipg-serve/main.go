@@ -8,11 +8,15 @@
 //
 //	ipg-serve [-addr :8080] [-grammar name=path ...] [-engine auto]
 //	          [-snapshot-dir dir] [-snapshot-interval 5m] [-snapshot-gzip]
+//	          [-snapshot-retries n] [-snapshot-retry-backoff d]
 //	          [-max-parses n] [-max-forest-nodes n] [-rate r] [-burst n]
 //	          [-session-max n] [-session-tokens n] [-session-idle 10m]
+//	          [-parse-timeout d] [-drain-timeout 5s]
+//	          [-breaker-threshold n] [-breaker-cooldown 10s]
+//	          [-mem-budget bytes] [-shed-factor f] [-max-body bytes]
 //	          [-log-level info] [-log-json]
 //	          [-trace-sample n] [-trace-slow d] [-trace-ring n]
-//	          [-pprof]
+//	          [-pprof] [-fault site=kind,... ...]
 //
 // Each -grammar flag preloads a grammar file at startup (.sdf files load
 // as SDF definitions, anything else as plain BNF). -engine picks the
@@ -54,6 +58,24 @@
 // labels engine calls with (grammar, engine) pprof labels so profiles
 // attribute samples per tenant (off by default: labeling costs
 // per-parse allocations).
+//
+// Fault tolerance: -parse-timeout bounds each parse's engine time —
+// overruns abort mid-drive at the engines' cancellation checkpoints
+// and answer 504; client disconnects abort the same way. A panicking
+// grammar trips its circuit breaker after -breaker-threshold
+// consecutive panics and is quarantined (503 + Retry-After) for
+// -breaker-cooldown before a half-open probe may close it again.
+// -mem-budget sheds new work (429) while the estimated retained memory
+// of tables and session charts exceeds the budget; -shed-factor
+// enables the adaptive p99 load shedder (shed while the latest
+// window's p99 exceeds factor × the healthy baseline). On SIGTERM the
+// service drains: /readyz flips unready, new work is refused with 503,
+// in-flight parses get -drain-timeout to finish and are then
+// force-canceled; tables are snapshotted and sessions closed before
+// exit. -snapshot-retries re-attempts failed snapshot writes with
+// doubling backoff. -fault arms the deterministic fault-injection
+// harness (chaos testing; repeatable): site=kind[,d=DUR][,at=N][,n=N],
+// e.g. -fault drive.token=delay,d=1ms or -fault dispatch.parse=panic,n=3.
 // Example session:
 //
 //	ipg-serve -grammar calc=testdata/Calc.sdf -snapshot-dir /var/lib/ipg \
@@ -71,6 +93,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -80,6 +103,7 @@ import (
 	"time"
 
 	"ipg/internal/engine"
+	"ipg/internal/faultinject"
 	"ipg/internal/obs"
 	"ipg/internal/registry"
 	"ipg/internal/serve"
@@ -99,6 +123,23 @@ func (g *grammarFlags) Set(v string) error {
 	return nil
 }
 
+// faultFlags collects repeated -fault site=kind[,opts] flags and arms
+// them immediately (validation happens at flag-parse time, so a typo
+// fails startup instead of silently never firing).
+type faultFlags []string
+
+func (f *faultFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *faultFlags) Set(v string) error {
+	site, fault, err := faultinject.Parse(v)
+	if err != nil {
+		return err
+	}
+	faultinject.Set(site, fault)
+	*f = append(*f, v)
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	var grammars grammarFlags
@@ -115,6 +156,19 @@ func main() {
 	sessionMax := flag.Int("session-max", 256, "max concurrently open document sessions; excess gets 429 (0 = unlimited)")
 	sessionTokens := flag.Int("session-tokens", 1<<20, "max tokens per session document; larger gets 413 (0 = unlimited)")
 	sessionIdle := flag.Duration("session-idle", 10*time.Minute, "evict sessions untouched this long (0 = never)")
+	parseTimeout := flag.Duration("parse-timeout", 0, "abort parses running longer than this mid-drive and answer 504 (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "on SIGTERM, let in-flight requests finish this long before force-canceling them")
+	brkThreshold := flag.Int("breaker-threshold", 3, "quarantine a grammar after this many consecutive engine panics (0 = breaker off)")
+	brkCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long a tripped grammar stays quarantined before a half-open probe")
+	memBudget := flag.Int64("mem-budget", 0, "global retained-memory budget in bytes; new work gets 429 while the estimate exceeds it (0 = unlimited)")
+	shedFactor := flag.Float64("shed-factor", 0, "shed load while the p99 latency window exceeds this factor times the healthy baseline (0 = shedder off; must be > 1)")
+	shedMinSamples := flag.Uint64("shed-min-samples", 256, "ignore latency windows with fewer requests than this when deciding to shed")
+	shedDropPer := flag.Int("shed-drop-per", 4, "while shedding, reject one request in this many (4 = 25% of load)")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body bytes; larger gets 413")
+	snapRetries := flag.Int("snapshot-retries", 2, "re-attempt failed snapshot writes this many times with doubling backoff")
+	snapRetryBackoff := flag.Duration("snapshot-retry-backoff", 100*time.Millisecond, "initial backoff between snapshot write retries (doubles per attempt, capped at 1s)")
+	var faults faultFlags
+	flag.Var(&faults, "fault", "arm a deterministic fault: site=kind[,d=DUR][,at=N][,n=N] (repeatable; chaos testing)")
 	logLevel := flag.String("log-level", "info", "log floor: debug (logs every request), info, warn or error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON lines instead of key=value text")
 	traceSample := flag.Int("trace-sample", 0, "record every Nth parse's lifecycle span for GET /v1/trace (0 = sampling off)")
@@ -155,6 +209,15 @@ func main() {
 		MaxDocTokens: *sessionTokens,
 		IdleTimeout:  *sessionIdle,
 	})
+	reg.SetBreakerConfig(registry.BreakerConfig{
+		Threshold: *brkThreshold,
+		Cooldown:  *brkCooldown,
+	})
+	reg.SetMemoryBudget(*memBudget)
+	reg.SetSnapshotRetry(*snapRetries, *snapRetryBackoff)
+	if len(faults) > 0 {
+		logger.Warn("fault injection armed (chaos testing)", "faults", faults.String())
+	}
 	if *snapDir != "" {
 		store, err := snapshot.NewStore(*snapDir)
 		if err != nil {
@@ -167,6 +230,8 @@ func main() {
 
 	front := serve.New(reg)
 	front.SetMaxBatchInputs(*maxBatch)
+	front.SetMaxBodyBytes(*maxBody)
+	front.SetParseTimeout(*parseTimeout)
 	front.SetLogger(logger)
 	if *traceSample > 0 || *traceSlow > 0 {
 		front.SetTracer(obs.NewTracer(obs.TracerConfig{
@@ -219,10 +284,18 @@ func main() {
 		handler = mux
 		logger.Info("pprof enabled", "path", "/debug/pprof/", "profile_labels", true)
 	}
+	// baseCtx underlies every request context. Canceling it at the end
+	// of a timed-out drain fires every in-flight parse's cancellation
+	// flag (reason shutdown), so stuck parses abort at their next
+	// checkpoint instead of holding the process open.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -279,6 +352,41 @@ func main() {
 		}()
 	}
 
+	if *memBudget > 0 || *shedFactor > 1 {
+		// Resilience ticker: refresh the retained-memory estimate and
+		// advance the p99 load shedder over the latency histograms.
+		shedCfg := registry.ShedConfig{
+			Factor:     *shedFactor,
+			MinSamples: *shedMinSamples,
+			DropPer:    *shedDropPer,
+		}
+		ticker := time.NewTicker(5 * time.Second)
+		go func() {
+			defer ticker.Stop()
+			wasShedding := false
+			for {
+				select {
+				case <-ticker.C:
+					if *memBudget > 0 {
+						reg.RefreshMemoryUsage()
+					}
+					shedding := reg.ShedTick(shedCfg)
+					if shedding != wasShedding {
+						if shedding {
+							logger.Warn("load shedding engaged",
+								"drop_per", *shedDropPer, "factor", *shedFactor)
+						} else {
+							logger.Info("load shedding disengaged")
+						}
+						wasShedding = shedding
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("ipg-serve listening", "addr", *addr, "grammars", reg.Len())
@@ -291,11 +399,22 @@ func main() {
 			fatal("serve failed", "err", err)
 		}
 	case <-ctx.Done():
-		logger.Info("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain: stop routing (readiness) and admitting (drain
+		// flag), give in-flight requests the drain timeout to finish,
+		// then force-cancel the stragglers through the base context —
+		// their cancellation flags fire with reason shutdown and the
+		// engines abort at the next checkpoint.
+		logger.Info("draining", "timeout", *drainTimeout)
+		front.MarkNotReady()
+		reg.SetDraining(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fatal("shutdown", "err", err)
+			logger.Warn("drain timeout: force-canceling in-flight parses", "err", err)
+			cancelBase()
+			if err := srv.Close(); err != nil {
+				logger.Warn("server close", "err", err)
+			}
 		}
 		if *snapDir != "" {
 			if n, err := reg.SnapshotAll(); err != nil {
@@ -309,5 +428,9 @@ func main() {
 				logger.Info("snapshot gc", "removed", removed)
 			}
 		}
+		if n := reg.CloseAllSessions(); n > 0 {
+			logger.Info("closed sessions", "count", n)
+		}
+		logger.Info("drain complete")
 	}
 }

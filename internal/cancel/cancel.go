@@ -1,0 +1,155 @@
+// Package cancel provides the cancellation primitive shared by every
+// parse drive loop: a Flag the serving layer arms from a deadline,
+// client disconnect, or drain signal, and that engines poll at cheap
+// checkpoints (one atomic load, no allocation, no time syscall).
+//
+// The package sits at the bottom of the dependency graph so that
+// core, glr, earley, ll, engine, and registry can all import it.
+// A nil *Flag never cancels, so un-armed (warm-path) parses pay only
+// a nil check per checkpoint and stay 0 allocs/op.
+package cancel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Reason records why a parse was aborted.
+type Reason uint32
+
+const (
+	// None means the flag has not fired.
+	None Reason = iota
+	// Deadline means the per-request parse deadline expired.
+	Deadline
+	// ClientGone means the HTTP client disconnected (request context
+	// canceled without a deadline having expired).
+	ClientGone
+	// Shutdown means the server is draining and force-canceled the
+	// parse after the drain timeout.
+	Shutdown
+	// Injected means a fault-injection hook canceled the parse.
+	Injected
+)
+
+// String names the reason for logs, metrics labels, and errors.
+func (r Reason) String() string {
+	switch r {
+	case None:
+		return "none"
+	case Deadline:
+		return "deadline"
+	case ClientGone:
+		return "client_gone"
+	case Shutdown:
+		return "shutdown"
+	case Injected:
+		return "injected"
+	default:
+		return fmt.Sprintf("reason(%d)", uint32(r))
+	}
+}
+
+// NumReasons is the number of distinct cancellation reasons, for
+// fixed-size per-reason counter arrays.
+const NumReasons = 5
+
+// Flag is a one-shot cancellation flag. The controller side calls
+// Cancel once; drive loops poll Hit. The zero value is ready to use,
+// and a nil *Flag is valid everywhere (it never cancels), so engines
+// thread it unconditionally without branching at the call site.
+type Flag struct {
+	state atomic.Uint32 // Reason; None while live
+}
+
+// Cancel fires the flag with the given reason. The first reason wins;
+// later calls are no-ops, so a deadline firing concurrently with a
+// client disconnect reports a single stable cause.
+func (f *Flag) Cancel(r Reason) {
+	if f == nil || r == None {
+		return
+	}
+	f.state.CompareAndSwap(uint32(None), uint32(r))
+}
+
+// Hit reports whether the flag has fired. This is the checkpoint
+// engines call from their drive loops: a nil check plus one atomic
+// load, no allocation, no syscall.
+func (f *Flag) Hit() bool {
+	return f != nil && f.state.Load() != uint32(None)
+}
+
+// Reason returns why the flag fired (None if it has not).
+func (f *Flag) Reason() Reason {
+	if f == nil {
+		return None
+	}
+	return Reason(f.state.Load())
+}
+
+// Reset rearms a fired flag so it can be pooled and reused.
+func (f *Flag) Reset() { f.state.Store(uint32(None)) }
+
+var flagPool = sync.Pool{New: func() any { return new(Flag) }}
+
+// GetFlag returns a reset Flag from the pool. Callers must not retain
+// the flag after PutFlag.
+func GetFlag() *Flag { return flagPool.Get().(*Flag) }
+
+// PutFlag resets fl and returns it to the pool. The caller must
+// guarantee no drive loop still polls it.
+func PutFlag(fl *Flag) {
+	if fl == nil {
+		return
+	}
+	fl.Reset()
+	flagPool.Put(fl)
+}
+
+// ErrCanceled is the sentinel all cancellation errors match via
+// errors.Is, regardless of reason.
+var ErrCanceled = errors.New("parse canceled")
+
+// Error is the structured abort error a drive loop returns when its
+// checkpoint observes a fired flag. It records the reason and the
+// partial work done so far, so callers (and the chaos harness) can see
+// exactly how far the parse got before the abort.
+type Error struct {
+	// Reason is why the parse was aborted.
+	Reason Reason
+	// Pos is the token position the drive loop had reached.
+	Pos int
+	// Tokens is the total input length, for "aborted at 412/3000".
+	Tokens int
+	// Work counts engine work units completed before the abort
+	// (GSS shifts+reduces, Earley items, LL steps, table actions).
+	Work uint64
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse canceled (%s) at token %d/%d after %d work units",
+		e.Reason, e.Pos, e.Tokens, e.Work)
+}
+
+// Is makes errors.Is(err, cancel.ErrCanceled) match.
+func (e *Error) Is(target error) bool { return target == ErrCanceled }
+
+// Err builds the structured abort error for a fired flag. Called only
+// on the cancellation path, so its allocation never touches warm
+// parses.
+func (f *Flag) Err(pos, tokens int, work uint64) error {
+	return &Error{Reason: f.Reason(), Pos: pos, Tokens: tokens, Work: work}
+}
+
+// Abort is panicked by deep table machinery (lazy expansion in
+// internal/core) that has no error return path when it observes a
+// fired flag; the engine dispatch layer recovers it and converts it to
+// the flag's structured Error. It is distinct from ordinary panics so
+// the panic-quarantine breaker does not count cancellations as faults.
+type Abort struct {
+	Flag *Flag
+	// Work counts work units done before the abort (e.g. action calls).
+	Work uint64
+}

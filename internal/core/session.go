@@ -1,6 +1,7 @@
 package core
 
 import (
+	"ipg/internal/cancel"
 	"ipg/internal/grammar"
 	"ipg/internal/lr"
 )
@@ -28,6 +29,14 @@ type ParseSession struct {
 	gen   *Generator
 	calls uint64
 	hits  uint64
+
+	// Cancel, when non-nil, is checked before every lazy state
+	// expansion; a fired flag aborts by panicking cancel.Abort, which
+	// the engine dispatch layer recovers into a structured error.
+	// (Expansion has no error return path through lr.Table, and a cold
+	// parse can expand hundreds of states between two drive-loop
+	// checkpoints.) The published-state hot path never looks at it.
+	Cancel *cancel.Flag
 }
 
 // Begin binds the session to gen and takes shared access to the table
@@ -37,6 +46,7 @@ func (s *ParseSession) Begin(gen *Generator) {
 	s.gen = gen
 	s.calls = 0
 	s.hits = 0
+	s.Cancel = nil
 	gen.mu.RLock()
 }
 
@@ -80,9 +90,12 @@ func (s *ParseSession) count(st *lr.State) {
 	s.calls++
 	if st.Published() {
 		s.hits++
-	} else {
-		s.gen.expandSlow(st)
+		return
 	}
+	if s.Cancel.Hit() {
+		panic(cancel.Abort{Flag: s.Cancel, Work: s.calls})
+	}
+	s.gen.expandSlow(st)
 }
 
 // Goto implements lr.Table; see Generator.Goto.

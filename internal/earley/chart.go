@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 
+	"ipg/internal/cancel"
+	"ipg/internal/faultinject"
 	"ipg/internal/grammar"
 )
 
@@ -383,7 +385,7 @@ func (w *Workspace) finalizeLeo(pr *program, i int) {
 // program); run truncates everything from set start on, re-scans set
 // start-1 against the new input and drives forward. The resumed chart
 // is identical to what a from-scratch parse of input would build.
-func (p *Parser) run(pr *program, input []grammar.Symbol, w *Workspace, buildTrees bool, start int) Result {
+func (p *Parser) run(pr *program, input []grammar.Symbol, w *Workspace, buildTrees bool, start int, fl *cancel.Flag) (Result, error) {
 	n := len(input)
 	res := Result{ErrorPos: -1}
 	res.Stats.Sets = n + 1
@@ -414,6 +416,16 @@ func (p *Parser) run(pr *program, input []grammar.Symbol, w *Workspace, buildTre
 		}
 	}
 	for i := start; i <= n; i++ {
+		// Per-item-set cancellation checkpoint (one nil check when
+		// unarmed). On abort the chart is mid-drive; callers must not
+		// treat it as valid for resumption.
+		if fl.Hit() {
+			res.Stats.Items = len(w.items)
+			return res, fl.Err(i, n, uint64(len(w.items)))
+		}
+		if faultinject.Armed() {
+			faultinject.Step(faultinject.SiteDriveToken, i, fl)
+		}
 		curStart := w.bounds[len(w.bounds)-1]
 		if int32(len(w.items)) > curStart {
 			last = i
@@ -465,7 +477,7 @@ func (p *Parser) run(pr *program, input []grammar.Symbol, w *Workspace, buildTre
 			r := pr.rules[it.rule]
 			if r.Lhs == pr.g.Start() && int(it.dot) == len(r.Rhs) {
 				res.Accepted = true
-				return res
+				return res, nil
 			}
 		}
 	}
@@ -494,7 +506,7 @@ func (p *Parser) run(pr *program, input []grammar.Symbol, w *Workspace, buildTre
 		res.Expected = append(res.Expected, sym)
 	}
 	sort.Slice(res.Expected, func(i, j int) bool { return res.Expected[i] < res.Expected[j] })
-	return res
+	return res, nil
 }
 
 // complete advances the items of the origin set waiting on the

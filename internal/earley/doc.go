@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ipg/internal/cancel"
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
 )
@@ -112,10 +113,20 @@ func (d *Doc) Splice(at, removed int, insert []grammar.Symbol) error {
 // rest; after a grammar change it reparses from scratch. A warm
 // same-length reparse allocates nothing.
 func (d *Doc) Reparse() Result {
+	res, _ := d.ReparseCancel(nil)
+	return res
+}
+
+// ReparseCancel is Reparse with a cancellation flag polled at the chart
+// drive's per-set checkpoints. An aborted reparse returns the
+// *cancel.Error and leaves the document needing a from-scratch drive on
+// its next reparse (the retained chart stops mid-set at the abort
+// point, so it cannot be resumed).
+func (d *Doc) ReparseCancel(fl *cancel.Flag) (Result, error) {
 	pr := d.p.program()
 	if d.valid && d.prog == pr && d.damage < 0 {
 		d.lastReused, d.lastRebuilt = len(d.w.bounds)-1, 0
-		return d.res
+		return d.res, nil
 	}
 	start := 0
 	if d.valid && d.prog == pr {
@@ -129,7 +140,13 @@ func (d *Doc) Reparse() Result {
 		// hash-consed nodes) refers to the old rule set.
 		d.resetForest()
 	}
-	d.res = d.p.run(pr, d.tokens, d.w, d.buildTrees, start)
+	res, err := d.p.run(pr, d.tokens, d.w, d.buildTrees, start, fl)
+	if err != nil {
+		d.valid = false
+		d.treeValid = false
+		return res, err
+	}
+	d.res = res
 	d.prog = pr
 	d.valid = true
 	d.treeValid = false
@@ -142,18 +159,26 @@ func (d *Doc) Reparse() Result {
 	}
 	d.setsReused += uint64(d.lastReused)
 	d.setsRebuilt += uint64(d.lastRebuilt)
-	return d.res
+	return d.res, nil
 }
 
 // Tree reparses if needed and builds the packed forest of the current
 // tokens, reusing every memoized forest node whose span lies entirely
 // left of all edits since the last build. Only valid on a Doc opened
 // with buildTrees.
-func (d *Doc) Tree() (Result, error) {
+func (d *Doc) Tree() (Result, error) { return d.TreeCancel(nil) }
+
+// TreeCancel is Tree with a cancellation flag; both the chart drive and
+// the forest walk poll it. Memoized forest nodes completed before an
+// abort stay valid and are reused by the next build.
+func (d *Doc) TreeCancel(fl *cancel.Flag) (Result, error) {
 	if !d.buildTrees {
 		return Result{}, errors.New("earley: Tree on a recognition-only document")
 	}
-	res := d.Reparse()
+	res, err := d.ReparseCancel(fl)
+	if err != nil {
+		return res, err
+	}
 	if d.treeValid {
 		res.Root = d.root
 		res.Forest = d.b.f
@@ -166,7 +191,7 @@ func (d *Doc) Tree() (Result, error) {
 			onPath: map[span]bool{},
 		}
 	}
-	d.b.pr, d.b.w, d.b.input = d.prog, d.w, d.tokens
+	d.b.pr, d.b.w, d.b.input, d.b.fl = d.prog, d.w, d.tokens, fl
 	res.Forest = d.b.f
 	if !res.Accepted {
 		return res, nil

@@ -15,7 +15,7 @@ func docChartEqual(t *testing.T, d *Doc, p *Parser) {
 	t.Helper()
 	w := new(Workspace)
 	pr := p.program()
-	p.run(pr, d.tokens, w, d.buildTrees, 0)
+	p.run(pr, d.tokens, w, d.buildTrees, 0, nil)
 	if len(w.items) != len(d.w.items) || len(w.bounds) != len(d.w.bounds) {
 		t.Fatalf("chart shape diverged: doc %d items/%d bounds, fresh %d/%d",
 			len(d.w.items), len(d.w.bounds), len(w.items), len(w.bounds))

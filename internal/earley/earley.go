@@ -28,6 +28,7 @@ import (
 	"errors"
 	"sync/atomic"
 
+	"ipg/internal/cancel"
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
 	"ipg/internal/obs"
@@ -83,6 +84,18 @@ type Options struct {
 	// only the parser knows where the chart ends and the forest walk
 	// begins; a nil Trace costs one pointer check.
 	Trace *obs.ParseTrace
+	// Cancel, when non-nil, is polled once per item set in the chart
+	// drive and once per constituent in forest construction; a fired
+	// flag aborts the parse with a *cancel.Error. Nil costs one
+	// pointer check per checkpoint.
+	Cancel *cancel.Flag
+}
+
+func (o *Options) cancelFlag() *cancel.Flag {
+	if o == nil {
+		return nil
+	}
+	return o.Cancel
 }
 
 func (o *Options) trace() *obs.ParseTrace {
@@ -136,10 +149,14 @@ func (p *Parser) Parse(input []grammar.Symbol, opts *Options) (Result, error) {
 	pr := p.program()
 	buildTrees := opts.trees()
 	tr := opts.trace()
+	fl := opts.cancelFlag()
 
 	tr.BeginStage(obs.StageTable)
-	res := p.run(pr, input, w, buildTrees, 0)
+	res, err := p.run(pr, input, w, buildTrees, 0, fl)
 	tr.EndStage(obs.StageTable)
+	if err != nil {
+		return res, err
+	}
 	if !buildTrees {
 		return res, nil
 	}
@@ -150,7 +167,7 @@ func (p *Parser) Parse(input []grammar.Symbol, opts *Options) (Result, error) {
 		return res, nil
 	}
 	tr.BeginStage(obs.StageForest)
-	root, err := buildForest(pr, w, input, res.Forest)
+	root, err := buildForest(pr, w, input, res.Forest, fl)
 	tr.EndStage(obs.StageForest)
 	if err != nil {
 		return Result{}, err

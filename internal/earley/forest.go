@@ -3,6 +3,7 @@ package earley
 import (
 	"fmt"
 
+	"ipg/internal/cancel"
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
 )
@@ -36,17 +37,23 @@ type builder struct {
 	// children is the reusable child-tuple stack of the split
 	// enumeration (forest.Rule copies tuples, so reuse is safe).
 	children []*forest.Node
+
+	// fl is the parse's cancellation flag (nil = never cancels),
+	// polled once per constituent so a pathological ambiguous forest
+	// walk stays abortable.
+	fl *cancel.Flag
 }
 
 // buildForest assembles the packed forest of an accepted parse. Like
 // the LR engines, the START rule itself is not represented: a unit
 // START application unwraps to its right-hand side's node, so all
 // engines render identical trees.
-func buildForest(pr *program, w *Workspace, input []grammar.Symbol, f *forest.Forest) (*forest.Node, error) {
+func buildForest(pr *program, w *Workspace, input []grammar.Symbol, f *forest.Forest, fl *cancel.Flag) (*forest.Node, error) {
 	b := &builder{
 		pr: pr, w: w, input: input, f: f,
 		memo:   map[span]*forest.Node{},
 		onPath: map[span]bool{},
+		fl:     fl,
 	}
 	return b.build()
 }
@@ -87,6 +94,9 @@ func (b *builder) build() (*forest.Node, error) {
 // buildSym returns the shared node deriving sym over input[i:j],
 // packing every recorded rule application as an alternative.
 func (b *builder) buildSym(sym grammar.Symbol, i, j int32) (*forest.Node, error) {
+	if b.fl.Hit() {
+		return nil, b.fl.Err(int(i), len(b.input), uint64(len(b.memo)))
+	}
 	key := span{sym, i, j}
 	if n, ok := b.memo[key]; ok {
 		return n, nil

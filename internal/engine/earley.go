@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"ipg/internal/cancel"
 	"ipg/internal/core"
 	"ipg/internal/earley"
 	"ipg/internal/grammar"
@@ -60,15 +62,25 @@ func (e *Earley) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) 
 // trace to the parser, which alone knows where the chart pass ends and
 // the forest walk begins. A nil trace records nothing.
 func (e *Earley) parseTraced(input []grammar.Symbol, buildTrees bool, tr *obs.ParseTrace) (Result, error) {
+	return e.parseCancel(input, buildTrees, tr, nil)
+}
+
+// parseCancel implements cancelParser: the flag reaches the chart
+// drive's per-set checkpoint and the forest walk.
+func (e *Earley) parseCancel(input []grammar.Symbol, buildTrees bool, tr *obs.ParseTrace, fl *cancel.Flag) (Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	e.parsesServed.Add(1)
 	opts := earleyScratchPool.Get().(*earley.Options)
 	defer earleyScratchPool.Put(opts)
-	*opts = earley.Options{BuildTrees: buildTrees, Trace: tr}
+	*opts = earley.Options{BuildTrees: buildTrees, Trace: tr, Cancel: fl}
 	res, err := e.p.Parse(input, opts)
 	e.items.Add(uint64(res.Stats.Items))
 	if err != nil {
+		var cerr *cancel.Error
+		if errors.As(err, &cerr) {
+			return Result{}, err
+		}
 		return Result{}, fmt.Errorf("engine: earley parse: %w", err)
 	}
 	return Result{

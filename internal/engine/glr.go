@@ -4,10 +4,12 @@ import (
 	"io"
 	"sync"
 
+	"ipg/internal/cancel"
 	"ipg/internal/core"
 	"ipg/internal/glr"
 	"ipg/internal/grammar"
 	"ipg/internal/lr"
+	"ipg/internal/obs"
 )
 
 // GLR is the paper's IPG behind the Engine interface: a lazy incremental
@@ -63,13 +65,25 @@ var glrScratchPool = sync.Pool{New: func() any { return new(glrScratch) }}
 // batched per parse through a core.ParseSession, so the published-state
 // hot path performs no shared atomic writes.
 func (e *GLR) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
+	return e.parseCancel(input, buildTrees, nil, nil)
+}
+
+// parseCancel implements cancelParser: the flag reaches both the GSS
+// drive loop (per-sweep checkpoint) and the lazy-expansion path of the
+// generator session. The deferred End releases the table's shared lock
+// even when expansion aborts by panic.
+func (e *GLR) parseCancel(input []grammar.Symbol, buildTrees bool, tr *obs.ParseTrace, fl *cancel.Flag) (Result, error) {
 	gen := e.Generator()
 	sc := glrScratchPool.Get().(*glrScratch)
 	defer glrScratchPool.Put(sc)
 	sc.sess.Begin(gen)
 	defer sc.sess.End()
-	sc.opts = glr.Options{Engine: glr.GSS, DisableTrees: !buildTrees}
-	return glr.Parse(&sc.sess, input, &sc.opts)
+	sc.sess.Cancel = fl
+	sc.opts = glr.Options{Engine: glr.GSS, DisableTrees: !buildTrees, Cancel: fl}
+	tr.BeginStage(obs.StageTable)
+	res, err := glr.Parse(&sc.sess, input, &sc.opts)
+	tr.EndStage(obs.StageTable)
+	return res, err
 }
 
 // Recognize implements Engine.

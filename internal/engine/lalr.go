@@ -6,10 +6,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ipg/internal/cancel"
 	"ipg/internal/core"
 	"ipg/internal/glr"
 	"ipg/internal/grammar"
 	"ipg/internal/lalr"
+	"ipg/internal/obs"
 )
 
 // LALR is the Yacc baseline behind the Engine interface: an eagerly
@@ -83,18 +85,26 @@ func (e *LALR) Table() *lalr.Table {
 // Parse implements Engine. Conflict-free tables use the deterministic
 // LR-PARSE driver; conflicted ones the GSS driver.
 func (e *LALR) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
+	return e.parseCancel(input, buildTrees, nil, nil)
+}
+
+// parseCancel implements cancelParser: both the deterministic and the
+// GSS driver poll the flag at their checkpoints.
+func (e *LALR) parseCancel(input []grammar.Symbol, buildTrees bool, tr *obs.ParseTrace, fl *cancel.Flag) (Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	e.parsesServed.Add(1)
+	tr.BeginStage(obs.StageTable)
+	defer tr.EndStage(obs.StageTable)
 	if len(e.tbl.Conflicts()) == 0 {
-		res, err := glr.Parse(e.tbl, input, &glr.Options{Engine: glr.Deterministic, DisableTrees: !buildTrees})
+		res, err := glr.Parse(e.tbl, input, &glr.Options{Engine: glr.Deterministic, DisableTrees: !buildTrees, Cancel: fl})
 		// A conflict our detector does not model (e.g. accept/reduce on
 		// $) surfaces here; the GSS driver handles it exactly.
 		if !errors.Is(err, glr.ErrNondeterministic) {
 			return res, err
 		}
 	}
-	return glr.Parse(e.tbl, input, &glr.Options{Engine: glr.GSS, DisableTrees: !buildTrees})
+	return glr.Parse(e.tbl, input, &glr.Options{Engine: glr.GSS, DisableTrees: !buildTrees, Cancel: fl})
 }
 
 // Recognize implements Engine.

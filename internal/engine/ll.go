@@ -5,10 +5,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ipg/internal/cancel"
 	"ipg/internal/core"
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
 	"ipg/internal/ll"
+	"ipg/internal/obs"
 )
 
 // LL is LL(1) predictive parsing behind the Engine interface: the
@@ -62,13 +64,21 @@ func (e *LL) Caps() Caps { return CapsOf(KindLL) }
 // Parse implements Engine: one predictive parse, building the unique
 // tree when buildTrees is set.
 func (e *LL) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
+	return e.parseCancel(input, buildTrees, nil, nil)
+}
+
+// parseCancel implements cancelParser: the predictive drive polls the
+// flag every 64 steps.
+func (e *LL) parseCancel(input []grammar.Symbol, buildTrees bool, tr *obs.ParseTrace, fl *cancel.Flag) (Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	e.parsesServed.Add(1)
+	tr.BeginStage(obs.StageTable)
+	defer tr.EndStage(obs.StageTable)
 	if !buildTrees {
 		// Single pass, no node construction: diagnostics come from the
 		// same drive that would have built the tree.
-		ok, errPos, expected, err := e.tbl.ParseDiag(input)
+		ok, errPos, expected, err := e.tbl.ParseDiagCancel(input, fl)
 		if err != nil {
 			return Result{}, err
 		}
@@ -78,7 +88,7 @@ func (e *LL) Parse(input []grammar.Symbol, buildTrees bool) (Result, error) {
 		return Result{ErrorPos: errPos, Expected: expected}, nil
 	}
 	f := forest.NewForest()
-	root, errPos, expected, err := e.tbl.ParseForest(input, f)
+	root, errPos, expected, err := e.tbl.ParseForestCancel(input, f, fl)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
+	"ipg/internal/cancel"
 	"ipg/internal/earley"
 	"ipg/internal/grammar"
 )
@@ -109,12 +111,19 @@ func (s *earleySession) Splice(at, removed int, insert []grammar.Symbol) error {
 	return s.d.Splice(at, removed, insert)
 }
 
-func (s *earleySession) Reparse() (Result, error) {
+func (s *earleySession) Reparse() (Result, error) { return s.ReparseCancel(nil) }
+
+// ReparseCancel implements cancelSession: the incremental chart drive
+// polls the flag at its per-set checkpoints.
+func (s *earleySession) ReparseCancel(fl *cancel.Flag) (Result, error) {
 	s.e.mu.RLock()
 	defer s.e.mu.RUnlock()
 	s.e.parsesServed.Add(1)
-	res := s.d.Reparse()
+	res, err := s.d.ReparseCancel(fl)
 	s.e.items.Add(uint64(res.Stats.Items))
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{
 		Accepted: res.Accepted,
 		ErrorPos: res.ErrorPos,
@@ -122,12 +131,19 @@ func (s *earleySession) Reparse() (Result, error) {
 	}, nil
 }
 
-func (s *earleySession) Tree() (Result, error) {
+func (s *earleySession) Tree() (Result, error) { return s.TreeCancel(nil) }
+
+// TreeCancel implements cancelSession.
+func (s *earleySession) TreeCancel(fl *cancel.Flag) (Result, error) {
 	s.e.mu.RLock()
 	defer s.e.mu.RUnlock()
 	s.e.parsesServed.Add(1)
-	res, err := s.d.Tree()
+	res, err := s.d.TreeCancel(fl)
 	if err != nil {
+		var cerr *cancel.Error
+		if errors.As(err, &cerr) {
+			return Result{}, err
+		}
 		return Result{}, fmt.Errorf("engine: earley session tree: %w", err)
 	}
 	s.e.items.Add(uint64(res.Stats.Items))
@@ -208,11 +224,15 @@ func (s *fallbackSession) Splice(at, removed int, insert []grammar.Symbol) error
 	return nil
 }
 
-func (s *fallbackSession) Reparse() (Result, error) {
+func (s *fallbackSession) Reparse() (Result, error) { return s.ReparseCancel(nil) }
+
+// ReparseCancel implements cancelSession: the from-scratch parse runs
+// through the backend's cancel-aware path when it has one.
+func (s *fallbackSession) ReparseCancel(fl *cancel.Flag) (Result, error) {
 	if s.valid {
 		return s.last, nil
 	}
-	res, err := s.e.Parse(s.tokens, false)
+	res, err := parseMaybeCancel(s.e, s.tokens, false, fl)
 	if err != nil {
 		return Result{}, err
 	}
@@ -221,8 +241,11 @@ func (s *fallbackSession) Reparse() (Result, error) {
 	return res, nil
 }
 
-func (s *fallbackSession) Tree() (Result, error) {
-	res, err := s.e.Parse(s.tokens, true)
+func (s *fallbackSession) Tree() (Result, error) { return s.TreeCancel(nil) }
+
+// TreeCancel implements cancelSession.
+func (s *fallbackSession) TreeCancel(fl *cancel.Flag) (Result, error) {
+	res, err := parseMaybeCancel(s.e, s.tokens, true, fl)
 	if err != nil {
 		return Result{}, err
 	}
@@ -230,6 +253,15 @@ func (s *fallbackSession) Tree() (Result, error) {
 	s.last = Result{Accepted: res.Accepted, ErrorPos: res.ErrorPos, Expected: res.Expected}
 	s.valid = true
 	return res, nil
+}
+
+// parseMaybeCancel routes through the cancel-aware parse when the
+// engine has one, plain Parse otherwise.
+func parseMaybeCancel(e Engine, input []grammar.Symbol, buildTrees bool, fl *cancel.Flag) (Result, error) {
+	if cp, ok := e.(cancelParser); ok {
+		return cp.parseCancel(input, buildTrees, nil, fl)
+	}
+	return e.Parse(input, buildTrees)
 }
 
 func (s *fallbackSession) Stats() SessionStats {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"ipg/internal/cancel"
 	"ipg/internal/grammar"
 	"ipg/internal/obs"
 )
@@ -38,10 +39,19 @@ func TraceParse(e Engine, input []grammar.Symbol, buildTrees bool, tr *obs.Parse
 // deferred re-probe) is its own stage, then the chosen backend records
 // its phases and the span is attributed to it.
 func (a *Auto) parseTraced(input []grammar.Symbol, buildTrees bool, tr *obs.ParseTrace) (Result, error) {
+	return a.parseCancel(input, buildTrees, tr, nil)
+}
+
+// parseCancel implements cancelParser for Auto by delegating to the
+// selected backend's cancel-aware path.
+func (a *Auto) parseCancel(input []grammar.Symbol, buildTrees bool, tr *obs.ParseTrace, fl *cancel.Flag) (Result, error) {
 	a.noteParse()
 	tr.BeginStage(obs.StageSelect)
 	cur := a.current()
 	tr.EndStage(obs.StageSelect)
 	tr.SetEngine(cur.Kind().String())
+	if cp, ok := cur.(cancelParser); ok {
+		return cp.parseCancel(input, buildTrees, tr, fl)
+	}
 	return TraceParse(cur, input, buildTrees, tr)
 }

@@ -1,6 +1,7 @@
 package glr
 
 import (
+	"ipg/internal/faultinject"
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
 	"ipg/internal/lr"
@@ -101,7 +102,17 @@ func gssParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, erro
 	// Failure diagnostics: the frontier of the last processed sweep.
 	lastPos := 0
 
+	fl := opts.cancelFlag()
 	for pos := 0; pos < len(input); pos++ {
+		// Per-sweep cancellation checkpoint; a second, masked check
+		// sits inside the reduction fixpoint below for sweeps whose
+		// reduction cascade dwarfs the token count.
+		if fl.Hit() {
+			return res, fl.Err(pos, len(input), uint64(res.Stats.Shifts+res.Stats.Reduces))
+		}
+		if faultinject.Armed() {
+			faultinject.Step(faultinject.SiteDriveToken, pos, fl)
+		}
 		symbol := input[pos]
 		res.Stats.Sweeps++
 		if front.len() > res.Stats.MaxParsers {
@@ -119,6 +130,9 @@ func gssParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, erro
 			p := w.work[len(w.work)-1]
 			w.work = w.work[:len(w.work)-1]
 			res.Stats.Reduces++
+			if res.Stats.Reduces&63 == 0 && fl.Hit() {
+				return res, fl.Err(pos, len(input), uint64(res.Stats.Shifts+res.Stats.Reduces))
+			}
 			opts.trace(Event{Op: "reduce", Token: symbol, Pos: pos, Rule: p.rule})
 
 			plen := p.rule.Len()

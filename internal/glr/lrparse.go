@@ -1,6 +1,7 @@
 package glr
 
 import (
+	"ipg/internal/faultinject"
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
 	"ipg/internal/lr"
@@ -43,7 +44,15 @@ func lrParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, error
 	pos := 0
 	symbol := input[pos]
 	budget := opts.budget(len(input))
+	fl := opts.cancelFlag()
 	for {
+		// Cancellation checkpoint: one nil check when unarmed, one
+		// atomic load per action step when armed. Checking per step
+		// (not per token) bounds abort latency even inside long reduce
+		// chains.
+		if fl.Hit() {
+			return res, fl.Err(pos, len(input), uint64(res.Stats.Shifts+res.Stats.Reduces))
+		}
 		res.Stats.Sweeps++
 		if res.Stats.Reduces > budget {
 			return res, ErrNotFinitelyAmbiguous
@@ -73,6 +82,9 @@ func lrParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, error
 			res.Stats.Shifts++
 			pos++
 			symbol = input[pos]
+			if faultinject.Armed() {
+				faultinject.Step(faultinject.SiteDriveToken, pos, fl)
+			}
 		case lr.Reduce:
 			n := action.Rule.Len()
 			var node *forest.Node

@@ -1,6 +1,7 @@
 package glr
 
 import (
+	"ipg/internal/faultinject"
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
 	"ipg/internal/lr"
@@ -51,9 +52,18 @@ func parParse(tbl lr.Table, input []grammar.Symbol, opts *Options) (Result, erro
 	startParser := &lrParser{stack: &stackNode{state: tbl.Start()}}
 	nextSweep := []*lrParser{startParser}
 
+	fl := opts.cancelFlag()
 	pos := -1
 	for len(nextSweep) > 0 {
 		pos++
+		// Per-sweep cancellation checkpoint (the inner reduce loop is
+		// already bounded by the reduction budget).
+		if fl.Hit() {
+			return res, fl.Err(pos, len(input), uint64(res.Stats.Shifts+res.Stats.Reduces))
+		}
+		if faultinject.Armed() {
+			faultinject.Step(faultinject.SiteDriveToken, pos, fl)
+		}
 		symbol := input[pos]
 		res.Stats.Sweeps++
 		thisSweep := nextSweep

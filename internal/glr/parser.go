@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ipg/internal/cancel"
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
 	"ipg/internal/lr"
@@ -169,6 +170,19 @@ type Options struct {
 	// workspace serves one parse at a time, so an Options value carrying
 	// one must not be shared by concurrent parses.
 	Workspace *Workspace
+	// Cancel, when non-nil, is polled at drive-loop checkpoints (every
+	// token sweep, and every action step in the deterministic driver);
+	// a fired flag aborts the parse with a *cancel.Error carrying the
+	// position reached and the work done. Nil costs one pointer check
+	// per checkpoint.
+	Cancel *cancel.Flag
+}
+
+func (o *Options) cancelFlag() *cancel.Flag {
+	if o == nil {
+		return nil
+	}
+	return o.Cancel
 }
 
 func (o *Options) budget(inputLen int) int {

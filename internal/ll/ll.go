@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 
+	"ipg/internal/cancel"
+	"ipg/internal/faultinject"
 	"ipg/internal/forest"
 	"ipg/internal/grammar"
 )
@@ -254,32 +256,45 @@ func (t *Table) Parse(input []grammar.Symbol) (bool, error) {
 // would have allowed progress there (the same diagnostic shape as
 // glr.Result). It returns ErrNotLL1 when the table has conflicts.
 func (t *Table) ParseForest(input []grammar.Symbol, f *forest.Forest) (root *forest.Node, errPos int, expected []grammar.Symbol, err error) {
+	return t.ParseForestCancel(input, f, nil)
+}
+
+// ParseForestCancel is ParseForest with a cancellation flag polled at
+// the drive loop's checkpoints (every 64 steps); a fired flag aborts
+// with a *cancel.Error.
+func (t *Table) ParseForestCancel(input []grammar.Symbol, f *forest.Forest, fl *cancel.Flag) (root *forest.Node, errPos int, expected []grammar.Symbol, err error) {
 	if len(t.conflicts) > 0 {
 		return nil, -1, nil, ErrNotLL1
 	}
 	if f == nil {
 		f = forest.NewForest()
 	}
-	_, root, errPos, expected = t.drive(input, f)
-	return root, errPos, expected, nil
+	_, root, errPos, expected, err = t.drive(input, f, fl)
+	return root, errPos, expected, err
 }
 
 // ParseDiag is recognition with the ParseForest diagnostics but without
 // any node construction — one pass, no allocation per matched token.
 // errPos is -1 for accepted inputs.
 func (t *Table) ParseDiag(input []grammar.Symbol) (ok bool, errPos int, expected []grammar.Symbol, err error) {
+	return t.ParseDiagCancel(input, nil)
+}
+
+// ParseDiagCancel is ParseDiag with a cancellation flag (see
+// ParseForestCancel).
+func (t *Table) ParseDiagCancel(input []grammar.Symbol, fl *cancel.Flag) (ok bool, errPos int, expected []grammar.Symbol, err error) {
 	if len(t.conflicts) > 0 {
 		return false, -1, nil, ErrNotLL1
 	}
-	ok, _, errPos, expected = t.drive(input, nil)
-	return ok, errPos, expected, nil
+	ok, _, errPos, expected, err = t.drive(input, nil, fl)
+	return ok, errPos, expected, err
 }
 
 // drive is the predictive-parse engine behind ParseForest and
 // ParseDiag. A nil forest skips tree building entirely. A trailing end
 // marker is accepted and ignored, so EOF-terminated token streams (the
 // service's zero-alloc convention) parse identically to bare ones.
-func (t *Table) drive(input []grammar.Symbol, f *forest.Forest) (ok bool, root *forest.Node, errPos int, expected []grammar.Symbol) {
+func (t *Table) drive(input []grammar.Symbol, f *forest.Forest, fl *cancel.Flag) (ok bool, root *forest.Node, errPos int, expected []grammar.Symbol, err error) {
 	if n := len(input); n > 0 && input[n-1] == grammar.EOF {
 		input = input[:n-1]
 	}
@@ -331,14 +346,27 @@ func (t *Table) drive(input []grammar.Symbol, f *forest.Forest) (ok bool, root *
 		next     int // index into rule.Rhs
 		children []*forest.Node
 	}
+	// Check the flag once before the drive so a pre-fired cancellation
+	// (deadline already expired, client already gone) aborts even when
+	// the input is too short to reach the in-loop checkpoint stride.
+	if fl.Hit() {
+		return false, nil, -1, nil, fl.Err(0, len(input), 0)
+	}
 	startRule, ok := predict(t.g.Start(), 0)
 	if !ok {
-		return false, nil, failPos, expectedSlice(failExp)
+		return false, nil, failPos, expectedSlice(failExp), nil
 	}
 	stack := []frame{{rule: startRule}}
 	pos := 0
+	steps := uint64(0)
 	var node *forest.Node
 	for len(stack) > 0 {
+		// Cancellation checkpoint every 64 predictive steps: the loop
+		// advances by at most one frame or token per iteration, so the
+		// mask bounds abort latency without a per-step atomic load.
+		if steps++; steps&63 == 0 && fl.Hit() {
+			return false, nil, -1, nil, fl.Err(pos, len(input), steps)
+		}
 		top := &stack[len(stack)-1]
 		if top.next == top.rule.Len() {
 			// Rule complete: build its node and hand it to the parent.
@@ -362,18 +390,21 @@ func (t *Table) drive(input []grammar.Symbol, f *forest.Forest) (ok bool, root *
 		if t.g.Symbols().Kind(sym) == grammar.Terminal {
 			if la(pos) != sym {
 				fail(pos, sym)
-				return false, nil, failPos, expectedSlice(failExp)
+				return false, nil, failPos, expectedSlice(failExp), nil
 			}
 			if f != nil {
 				top.children = append(top.children, f.Leaf(sym, pos))
 			}
 			top.next++
 			pos++
+			if faultinject.Armed() {
+				faultinject.Step(faultinject.SiteDriveToken, pos, fl)
+			}
 			continue
 		}
 		r, ok := predict(sym, pos)
 		if !ok {
-			return false, nil, failPos, expectedSlice(failExp)
+			return false, nil, failPos, expectedSlice(failExp), nil
 		}
 		stack = append(stack, frame{rule: r})
 	}
@@ -385,12 +416,12 @@ func (t *Table) drive(input []grammar.Symbol, f *forest.Forest) (ok bool, root *
 		if node != nil && node.Kind() == forest.RuleNode && node.Rule().Lhs == t.g.Start() && len(node.Children()) == 1 {
 			node = node.Children()[0]
 		}
-		return true, node, -1, nil
+		return true, node, -1, nil, nil
 	}
 	// The start symbol derived a proper prefix; only end of input was
 	// legal after it.
 	fail(pos, grammar.EOF)
-	return false, nil, failPos, expectedSlice(failExp)
+	return false, nil, failPos, expectedSlice(failExp), nil
 }
 
 // expectedSlice sorts a failure's expected-terminal set.

@@ -105,6 +105,11 @@ type Span struct {
 	// regenerated instead. Zero for plain parses.
 	RepairedStates  int
 	RepairFallbacks int
+	// Canceled is the cancellation reason when the parse was aborted
+	// mid-drive ("" for completed parses); Panicked marks a parse whose
+	// engine panicked and was quarantined into a structured error.
+	Canceled string
+	Panicked bool
 	// Sampled marks spans captured by the 1-in-N sampler; Slow marks
 	// spans retained because Total crossed the slow-parse threshold.
 	// A span can be both.
@@ -151,6 +156,24 @@ func (t *ParseTrace) AddRepair(states, fallbacks int) {
 	}
 	t.span.RepairedStates += states
 	t.span.RepairFallbacks += fallbacks
+}
+
+// MarkCanceled records that the parse was aborted mid-drive with the
+// given cancellation reason. No-op on a nil trace.
+func (t *ParseTrace) MarkCanceled(reason string) {
+	if t == nil {
+		return
+	}
+	t.span.Canceled = reason
+}
+
+// MarkPanicked records that the parse's engine panicked and the panic
+// was quarantined into a structured error. No-op on a nil trace.
+func (t *ParseTrace) MarkPanicked() {
+	if t == nil {
+		return
+	}
+	t.span.Panicked = true
 }
 
 // SetEngine records the concrete backend that served the parse (auto

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -275,6 +276,25 @@ func (r *Registry) SessionTotals() SessionTotals {
 	return t
 }
 
+// CloseAllSessions closes every open session, rolling their counters
+// into the closed totals — the drain path's final step, so a graceful
+// shutdown releases every retained chart and forest before exit. It
+// returns how many sessions were closed.
+func (r *Registry) CloseAllSessions() int {
+	r.sessionMu.Lock()
+	victims := make([]*Session, 0, len(r.sessions))
+	for id, s := range r.sessions {
+		delete(r.sessions, id)
+		victims = append(victims, s)
+	}
+	r.sessionMu.Unlock()
+	for _, s := range victims {
+		s.close()
+		r.sessionsClosed.Add(1)
+	}
+	return len(victims)
+}
+
 // closeSessionsOf closes every session bound to entry e — called when
 // the entry is removed or replaced, since retained charts refer to the
 // old engine.
@@ -373,6 +393,14 @@ func (s *Session) Splice(at, remove int, insert string, tr *obs.ParseTrace) erro
 // histogram like any parse request; the incremental drive is recorded
 // under the trace's reuse stage.
 func (s *Session) Reparse(tr *obs.ParseTrace) (Result, error) {
+	return s.ReparseCtx(context.Background(), tr)
+}
+
+// ReparseCtx is Reparse with the request context threaded through:
+// deadline expiry, client disconnect and drain-timeout shutdown abort
+// the incremental drive at its checkpoints, and engine panics are
+// quarantined exactly like stateless parses.
+func (s *Session) ReparseCtx(ctx context.Context, tr *obs.ParseTrace) (Result, error) {
 	tr.BeginStage(obs.StageAdmit)
 	err := s.entry.admit()
 	tr.EndStage(obs.StageAdmit)
@@ -388,9 +416,12 @@ func (s *Session) Reparse(tr *obs.ParseTrace) (Result, error) {
 	}
 	s.entry.updateMu.RLock()
 	defer s.entry.updateMu.RUnlock()
+	fl, stop := s.entry.armCancel(ctx)
 	tr.BeginStage(obs.StageReuse)
-	res, err := s.es.Reparse()
+	res, err := engine.ReparseGuarded(s.es, fl)
 	tr.EndStage(obs.StageReuse)
+	disarmCancel(fl, stop)
+	s.entry.noteOutcome(err, tr)
 	if err != nil {
 		return Result{}, err
 	}
@@ -409,6 +440,12 @@ func (s *Session) Reparse(tr *obs.ParseTrace) (Result, error) {
 // is dropped (to regrow compactly on the next call) and the request
 // fails with ErrForestLimit.
 func (s *Session) Tree(tr *obs.ParseTrace) (Result, error) {
+	return s.TreeCtx(context.Background(), tr)
+}
+
+// TreeCtx is Tree with the request context threaded through; see
+// ReparseCtx.
+func (s *Session) TreeCtx(ctx context.Context, tr *obs.ParseTrace) (Result, error) {
 	tr.BeginStage(obs.StageAdmit)
 	err := s.entry.admit()
 	tr.EndStage(obs.StageAdmit)
@@ -424,9 +461,12 @@ func (s *Session) Tree(tr *obs.ParseTrace) (Result, error) {
 	}
 	s.entry.updateMu.RLock()
 	defer s.entry.updateMu.RUnlock()
+	fl, stop := s.entry.armCancel(ctx)
 	tr.BeginStage(obs.StageReuse)
-	res, err := s.es.Tree()
+	res, err := engine.TreeGuarded(s.es, fl)
 	tr.EndStage(obs.StageReuse)
+	disarmCancel(fl, stop)
+	s.entry.noteOutcome(err, tr)
 	if err != nil {
 		return Result{}, err
 	}

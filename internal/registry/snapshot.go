@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ipg/internal/engine"
+	"ipg/internal/faultinject"
 	"ipg/internal/lr"
 	"ipg/internal/obs"
 	"ipg/internal/snapshot"
@@ -38,6 +39,52 @@ var ErrNotSnapshottable = errors.New("registry: entry's engine does not support 
 // disables it). Call before serving traffic; it is not synchronized
 // against concurrent Register/Snapshot calls.
 func (r *Registry) SetSnapshotStore(st *snapshot.Store) { r.store = st }
+
+// SetSnapshotRetry configures the bounded retry of failed snapshot
+// saves: up to retries re-attempts per save, sleeping backoff, 2×
+// backoff, 4× backoff … (capped at one second) between attempts. Zero
+// retries (the default) fails on the first error. Call before serving
+// traffic.
+func (r *Registry) SetSnapshotRetry(retries int, backoff time.Duration) {
+	r.snapRetryMax = retries
+	r.snapRetryBackoff = backoff
+}
+
+// saveSnapshot writes snap through the store with the configured
+// bounded-backoff retry. The fault-injection site lets the chaos
+// harness fail writes deterministically.
+func (r *Registry) saveSnapshot(snap *snapshot.Snapshot) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = r.trySave(snap)
+		if err == nil {
+			return nil
+		}
+		if attempt >= r.snapRetryMax {
+			return err
+		}
+		r.snapRetries.Add(1)
+		if d := r.snapRetryBackoff; d > 0 {
+			d <<= attempt
+			if d > time.Second {
+				d = time.Second
+			}
+			time.Sleep(d)
+		}
+	}
+}
+
+func (r *Registry) trySave(snap *snapshot.Snapshot) error {
+	if faultinject.Armed() {
+		if ferr := faultinject.Fire(faultinject.SiteSnapshotSave); ferr != nil {
+			return ferr
+		}
+	}
+	return r.store.Save(snap)
+}
+
+// SnapshotRetries counts snapshot save attempts that were retried.
+func (r *Registry) SnapshotRetries() uint64 { return r.snapRetries.Load() }
 
 // SnapshotStore returns the configured store (nil when disabled).
 func (r *Registry) SnapshotStore() *snapshot.Store { return r.store }
@@ -177,7 +224,7 @@ func (r *Registry) snapshotEntry(e *Entry) (snapshot.Meta, error) {
 		r.snapErrors.Add(1)
 		return snapshot.Meta{}, err
 	}
-	if err := r.store.Save(snap); err != nil {
+	if err := r.saveSnapshot(snap); err != nil {
 		r.snapErrors.Add(1)
 		return snapshot.Meta{}, err
 	}
@@ -262,8 +309,9 @@ type SnapshotStats struct {
 	Dir     string
 	// Saves/Restores/Rejected/Errors count snapshot writes, successful
 	// restores at registration, hash-mismatch rejections and
-	// corrupt/unreadable failures.
-	Saves, Restores, Rejected, Errors uint64
+	// corrupt/unreadable failures; Retries counts save attempts that
+	// were re-tried after a write error.
+	Saves, Restores, Rejected, Errors, Retries uint64
 	// LastSaveUnix is the time of the most recent successful save
 	// (0 = never).
 	LastSaveUnix int64
@@ -276,6 +324,7 @@ func (r *Registry) SnapshotStats() SnapshotStats {
 		Restores:     r.snapRestores.Load(),
 		Rejected:     r.snapRejected.Load(),
 		Errors:       r.snapErrors.Load(),
+		Retries:      r.snapRetries.Load(),
 		LastSaveUnix: r.lastSnapUnix.Load(),
 	}
 	if r.store != nil {

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"time"
 
+	"ipg/internal/cancel"
+	"ipg/internal/faultinject"
 	"ipg/internal/obs"
 	"ipg/internal/registry"
 )
@@ -126,6 +128,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 			return 0
 		})
+	perGrammar("ipg_parse_panics_total", obs.TypeCounter,
+		"Engine panics recovered into structured errors.",
+		func(st registry.Stats) float64 { return float64(st.Panics) })
+	perGrammar("ipg_breaker_trips_total", obs.TypeCounter,
+		"Circuit-breaker transitions into the open state.",
+		func(st registry.Stats) float64 { return float64(st.Breaker.Trips) })
+	perGrammar("ipg_breaker_rejected_total", obs.TypeCounter,
+		"Requests refused while the grammar's circuit breaker was open.",
+		func(st registry.Stats) float64 { return float64(st.Breaker.Rejected) })
+
+	// Breaker state as a one-hot gauge over the three states, so
+	// dashboards can plot transitions without mapping enum values.
+	brkState := p.Family("ipg_breaker_state", obs.TypeGauge,
+		"1 for the grammar's current circuit-breaker state (closed, open, half_open).")
+	for _, st := range stats {
+		for _, state := range []string{"closed", "open", "half_open"} {
+			v := 0.0
+			if st.Breaker.State == state {
+				v = 1
+			}
+			brkState.Sample(v, "grammar", st.Name, "engine", st.Engine.String(), "state", state)
+		}
+	}
+
+	// Cancellations by reason. Reason 0 ("none") is skipped: it never
+	// counts a completed abort.
+	canceled := p.Family("ipg_parses_canceled_total", obs.TypeCounter,
+		"Parses aborted mid-drive, by cancellation reason.")
+	for _, st := range stats {
+		for reason := 1; reason < int(cancel.NumReasons); reason++ {
+			canceled.Sample(float64(st.Canceled[reason]),
+				"grammar", st.Name, "engine", st.Engine.String(),
+				"reason", cancel.Reason(reason).String())
+		}
+	}
 
 	states := p.Family("ipg_table_states", obs.TypeGauge,
 		"Parse-table states by class (complete, initial, dirty).")
@@ -170,6 +207,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Snapshots rejected as stale (grammar hash mismatch).").Sample(float64(snap.Rejected))
 	p.Family("ipg_snapshot_errors_total", obs.TypeCounter,
 		"Snapshot read/write failures.").Sample(float64(snap.Errors))
+	p.Family("ipg_snapshot_retries_total", obs.TypeCounter,
+		"Snapshot save attempts re-tried after a write error.").Sample(float64(snap.Retries))
+
+	// Resilience subsystem: drain, memory budget, load shedder. Emitted
+	// even at rest so alert rules can rely on the families existing.
+	res := s.reg.Resilience()
+	p.Family("ipg_draining", obs.TypeGauge,
+		"1 while the service is draining (refusing new work before shutdown).").
+		Sample(boolGauge(res.Draining))
+	p.Family("ipg_drain_rejected_total", obs.TypeCounter,
+		"Requests refused because the service was draining.").
+		Sample(float64(res.DrainRejected))
+	p.Family("ipg_mem_budget_bytes", obs.TypeGauge,
+		"Configured retained-memory budget (0 = unlimited).").
+		Sample(float64(res.MemBudgetBytes))
+	p.Family("ipg_mem_usage_bytes", obs.TypeGauge,
+		"Estimated retained memory at the last refresh (tables and session charts).").
+		Sample(float64(res.MemUsageBytes))
+	p.Family("ipg_mem_rejected_total", obs.TypeCounter,
+		"Requests refused because the memory budget was exhausted.").
+		Sample(float64(res.MemRejected))
+	p.Family("ipg_shed_active", obs.TypeGauge,
+		"1 while the adaptive load shedder is dropping a fraction of requests.").
+		Sample(boolGauge(res.ShedActive))
+	p.Family("ipg_shed_total", obs.TypeCounter,
+		"Requests dropped by the adaptive load shedder.").
+		Sample(float64(res.Shed))
+
+	// Fault injection: one series per armed site (none in production).
+	injected := p.Family("ipg_fault_injections_total", obs.TypeCounter,
+		"Faults fired by the chaos-testing injection harness, per armed site.")
+	for _, sc := range faultinject.Stats() {
+		injected.Sample(float64(sc.Fired), "site", sc.Site, "kind", sc.Kind.String())
+	}
 
 	// Document sessions. Counters include closed sessions' tallies, so
 	// they stay monotone across idle eviction.
@@ -237,6 +308,10 @@ type SpanInfo struct {
 	// the span (rule-update requests); omitted for plain parses.
 	RepairedStates  int `json:"repaired_states,omitempty"`
 	RepairFallbacks int `json:"repair_fallbacks,omitempty"`
+	// Canceled names the cancellation reason when the parse was aborted
+	// mid-drive; Panicked marks parses recovered from an engine panic.
+	Canceled string `json:"canceled,omitempty"`
+	Panicked bool   `json:"panicked,omitempty"`
 	// Sampled marks spans the 1-in-N sampler kept; Slow marks
 	// slow-threshold outliers. A span can be both.
 	Sampled bool `json:"sampled"`
@@ -268,6 +343,8 @@ func spanInfoOf(sp obs.Span) SpanInfo {
 		TotalUS:   sp.Total.Microseconds(),
 		Accepted:  sp.Accepted,
 		Error:     sp.Err,
+		Canceled:  sp.Canceled,
+		Panicked:  sp.Panicked,
 		Sampled:   sp.Sampled,
 		Slow:      sp.Slow,
 

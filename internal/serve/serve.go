@@ -56,10 +56,12 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ipg/internal/cancel"
 	"ipg/internal/engine"
 	"ipg/internal/obs"
 	"ipg/internal/registry"
@@ -72,8 +74,13 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	// maxBatch bounds POST .../batch input counts (SetMaxBatchInputs).
-	maxBatch int
+	// maxBatch bounds POST .../batch input counts (SetMaxBatchInputs);
+	// maxBody bounds request bodies (SetMaxBodyBytes); parseTimeout
+	// bounds each parse-shaped request's engine time (SetParseTimeout,
+	// 0 = unbounded).
+	maxBatch     int
+	maxBody      int64
+	parseTimeout time.Duration
 
 	// tracer records parse-lifecycle spans (nil = tracing off); logger
 	// is the structured request log (nil = silent). Configure with
@@ -94,12 +101,17 @@ type Server struct {
 // SetMaxBatchInputs.
 const DefaultMaxBatchInputs = 1024
 
+// DefaultMaxBodyBytes bounds request bodies unless overridden with
+// SetMaxBodyBytes.
+const DefaultMaxBodyBytes = 1 << 22
+
 // New builds a server over reg (an empty registry when nil).
 func New(reg *registry.Registry) *Server {
 	if reg == nil {
 		reg = registry.New()
 	}
-	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(), maxBatch: DefaultMaxBatchInputs}
+	s := &Server{reg: reg, mux: http.NewServeMux(), start: time.Now(),
+		maxBatch: DefaultMaxBatchInputs, maxBody: DefaultMaxBodyBytes}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -133,6 +145,32 @@ func (s *Server) SetMaxBatchInputs(n int) {
 	s.maxBatch = n
 }
 
+// SetMaxBodyBytes overrides the request-body size cap (0 restores the
+// default). Call before serving traffic.
+func (s *Server) SetMaxBodyBytes(n int64) {
+	if n <= 0 {
+		n = DefaultMaxBodyBytes
+	}
+	s.maxBody = n
+}
+
+// SetParseTimeout bounds every parse-shaped request's engine time:
+// parses running longer are aborted mid-drive at the engine's
+// cancellation checkpoints and answered 504 (0 disables). Call before
+// serving traffic.
+func (s *Server) SetParseTimeout(d time.Duration) { s.parseTimeout = d }
+
+// parseCtx derives the per-parse context: the configured parse timeout
+// layered over the request context, so a deadline, a client disconnect
+// or a drain-time force-cancel all reach the engine's drive loop. The
+// returned cancel must run when the parse completes.
+func (s *Server) parseCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.parseTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.parseTimeout)
+}
+
 // Registry exposes the backing registry (for preloading grammars).
 func (s *Server) Registry() *registry.Registry { return s.reg }
 
@@ -160,6 +198,11 @@ func (s *Server) log() *slog.Logger {
 // including snapshot restores — has completed, so orchestrators only
 // route traffic to instances with warm tables published.
 func (s *Server) MarkReady() { s.ready.Store(true) }
+
+// MarkNotReady flips /readyz back to 503. The binary calls it when a
+// drain begins, so orchestrators stop routing new traffic while
+// in-flight requests finish.
+func (s *Server) MarkNotReady() { s.ready.Store(false) }
 
 // statusWriter captures the response status for request logging.
 type statusWriter struct {
@@ -213,10 +256,20 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
-func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	limit := s.maxBody
+	if limit <= 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
@@ -279,6 +332,36 @@ type ServiceStats struct {
 	LatencyByEngine map[string]*LatencyStats `json:"latency_by_engine,omitempty"`
 	// Snapshots reports the snapshot subsystem (null when disabled).
 	Snapshots *SnapshotSubsystemStats `json:"snapshots,omitempty"`
+	// Canceled aggregates parses aborted mid-drive across all entries,
+	// keyed by cancellation reason (deadline, client_gone, shutdown,
+	// injected); Panics counts engine panics recovered into errors.
+	Canceled map[string]uint64 `json:"parses_canceled_total,omitempty"`
+	Panics   uint64            `json:"parse_panics_total"`
+	// Resilience reports the fault-tolerance subsystem: drain state,
+	// breaker configuration, memory budget and load shedder.
+	Resilience ResilienceInfo `json:"resilience"`
+}
+
+// ResilienceInfo is the fault-tolerance section of /v1/stats.
+type ResilienceInfo struct {
+	Draining      bool   `json:"draining"`
+	DrainRejected uint64 `json:"drain_rejected_total"`
+	// BreakerThreshold/BreakerCooldownMS echo the circuit-breaker
+	// configuration (threshold 0 = disabled).
+	BreakerThreshold  int   `json:"breaker_threshold,omitempty"`
+	BreakerCooldownMS int64 `json:"breaker_cooldown_ms,omitempty"`
+	// Memory budget admission (budget 0 = unlimited; usage is the
+	// estimate of the last refresh).
+	MemBudgetBytes int64  `json:"mem_budget_bytes,omitempty"`
+	MemUsageBytes  int64  `json:"mem_usage_bytes"`
+	MemRejected    uint64 `json:"mem_rejected_total"`
+	// Load shedder state and lifetime sheds.
+	ShedActive bool   `json:"shed_active"`
+	Shed       uint64 `json:"shed_total"`
+	// SnapshotRetries counts snapshot saves re-attempted after a write
+	// error; ParseTimeoutMS echoes the per-parse deadline (0 = none).
+	SnapshotRetries uint64 `json:"snapshot_retries_total"`
+	ParseTimeoutMS  int64  `json:"parse_timeout_ms,omitempty"`
 }
 
 // LatencyStats is the JSON rendering of a request-latency histogram:
@@ -360,6 +443,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			merged := byEngine[st.Engine.String()]
 			merged.Add(st.Latency)
 			byEngine[st.Engine.String()] = merged
+			out.Panics += st.Panics
+			for reason := 1; reason < int(cancel.NumReasons); reason++ {
+				if n := st.Canceled[reason]; n > 0 {
+					if out.Canceled == nil {
+						out.Canceled = make(map[string]uint64, int(cancel.NumReasons)-1)
+					}
+					out.Canceled[cancel.Reason(reason).String()] += n
+				}
+			}
 		}
 		for kind, snap := range byEngine {
 			if lat := latencyOf(snap); lat != nil {
@@ -369,6 +461,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				out.LatencyByEngine[kind] = lat
 			}
 		}
+	}
+	res := s.reg.Resilience()
+	out.Resilience = ResilienceInfo{
+		Draining:          res.Draining,
+		DrainRejected:     res.DrainRejected,
+		BreakerThreshold:  res.Breaker.Threshold,
+		BreakerCooldownMS: res.Breaker.Cooldown.Milliseconds(),
+		MemBudgetBytes:    res.MemBudgetBytes,
+		MemUsageBytes:     res.MemUsageBytes,
+		MemRejected:       res.MemRejected,
+		ShedActive:        res.ShedActive,
+		Shed:              res.Shed,
+		SnapshotRetries:   res.SnapshotRetries,
+		ParseTimeoutMS:    s.parseTimeout.Milliseconds(),
 	}
 	if st := s.reg.SnapshotStats(); st.Enabled {
 		out.Snapshots = &SnapshotSubsystemStats{
@@ -509,7 +615,7 @@ type RegisterRequest struct {
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	form, err := registry.ParseForm(req.Form)
@@ -587,6 +693,8 @@ type ParseResponse struct {
 }
 
 func (s *Server) parseOne(ctx context.Context, e *registry.Entry, req ParseRequest) (ParseResponse, error) {
+	ctx, cancelParse := s.parseCtx(ctx)
+	defer cancelParse()
 	start := time.Now()
 	tr := s.tracer.StartParse(e.Name(), e.EngineKind().String(), obs.RequestID(ctx))
 	res, err := e.ParseInputTraced(ctx, req.Input, req.Trees || req.Render, tr)
@@ -645,35 +753,92 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ParseRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	s.parses.Add(1)
 	out, err := s.parseOne(r.Context(), e, req)
 	if err != nil {
-		writeError(w, s.parseErrorStatus(err), err)
+		s.writeParseError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 // throttledErr reports the retryable admission-control class: the
-// entry is protecting itself, not rejecting the input.
+// entry (or the service) is protecting itself, not rejecting the
+// input. Retry shortly and the parse should go through.
 func throttledErr(err error) bool {
 	return errors.Is(err, registry.ErrBusy) ||
 		errors.Is(err, registry.ErrForestLimit) ||
-		errors.Is(err, registry.ErrRateLimited)
+		errors.Is(err, registry.ErrRateLimited) ||
+		errors.Is(err, registry.ErrMemoryBudget) ||
+		errors.Is(err, registry.ErrShed)
 }
 
-// parseErrorStatus maps a parse failure to its HTTP status: admission
-// control rejections are 429 (retryable: the entry is protecting
-// itself), everything else is a 422 input problem.
-func (s *Server) parseErrorStatus(err error) int {
+// statusClientClosedRequest is the de-facto (nginx) status for requests
+// abandoned by the client; net/http has no constant for it. The client
+// is gone, so the status is for the access log, not the wire.
+const statusClientClosedRequest = 499
+
+// drainRetryAfterSec is the Retry-After hint on drain-time 503s: long
+// enough for the orchestrator to route around this instance.
+const drainRetryAfterSec = 5
+
+// classifyParseError maps a parse failure onto its HTTP status and a
+// Retry-After hint in seconds (0 = no header):
+//
+//	canceled: deadline/injected → 504, client gone → 499,
+//	          shutdown (drain force-cancel) → 503 + Retry-After
+//	quarantined (breaker open) → 503 + Retry-After from the breaker
+//	draining → 503 + Retry-After
+//	throttled (busy/forest/rate/memory/shed) → 429 + Retry-After
+//	engine panic → 500 (stack logged server-side)
+//	anything else → 422 (input problem)
+func (s *Server) classifyParseError(err error) (status, retryAfterSec int) {
+	var cerr *cancel.Error
+	if errors.As(err, &cerr) {
+		switch cerr.Reason {
+		case cancel.ClientGone:
+			return statusClientClosedRequest, 0
+		case cancel.Shutdown:
+			return http.StatusServiceUnavailable, drainRetryAfterSec
+		default: // Deadline, Injected
+			return http.StatusGatewayTimeout, 0
+		}
+	}
+	var q *registry.QuarantineError
+	if errors.As(err, &q) {
+		ra := int(q.RetryAfter / time.Second)
+		if ra < 1 {
+			ra = 1
+		}
+		return http.StatusServiceUnavailable, ra
+	}
+	if errors.Is(err, registry.ErrDraining) {
+		return http.StatusServiceUnavailable, drainRetryAfterSec
+	}
 	if throttledErr(err) {
 		s.rejected429.Add(1)
-		return http.StatusTooManyRequests
+		return http.StatusTooManyRequests, 1
 	}
-	return http.StatusUnprocessableEntity
+	var p *engine.PanicError
+	if errors.As(err, &p) {
+		s.log().Error("parse panicked",
+			"err", fmt.Sprint(p.Value), "stack", string(p.Stack))
+		return http.StatusInternalServerError, 0
+	}
+	return http.StatusUnprocessableEntity, 0
+}
+
+// writeParseError answers a failed parse with the classified status and
+// Retry-After hint.
+func (s *Server) writeParseError(w http.ResponseWriter, err error) {
+	status, retry := s.classifyParseError(err)
+	if retry > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+	}
+	writeError(w, status, err)
 }
 
 // BatchRequest is the POST .../batch body: many sentences fanned out
@@ -717,7 +882,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req BatchRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	if len(req.Inputs) == 0 {
@@ -813,7 +978,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RulesRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	var resp RulesResponse

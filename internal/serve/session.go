@@ -59,26 +59,27 @@ type SessionEditResponse struct {
 	SetsRebuilt int            `json:"sets_rebuilt,omitempty"`
 }
 
-// sessionErrorStatus maps session-operation failures onto HTTP
+// writeSessionError maps session-operation failures onto HTTP
 // statuses: 416 for out-of-range splices, 404 for unknown/evicted
 // sessions, 413 for documents over the token budget, 429 for the
-// admission class, 422 otherwise.
-func (s *Server) sessionErrorStatus(err error) int {
+// session-count cap; everything else — including cancellation,
+// quarantine, drain and panic classes — falls through to the shared
+// parse-error classifier.
+func (s *Server) writeSessionError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, engine.ErrSplice):
-		return http.StatusRequestedRangeNotSatisfiable
+		writeError(w, http.StatusRequestedRangeNotSatisfiable, err)
 	case errors.Is(err, registry.ErrNoSession):
-		return http.StatusNotFound
+		writeError(w, http.StatusNotFound, err)
 	case errors.Is(err, registry.ErrDocTooLarge):
-		return http.StatusRequestEntityTooLarge
+		writeError(w, http.StatusRequestEntityTooLarge, err)
 	case errors.Is(err, registry.ErrSessionLimit):
 		s.rejected429.Add(1)
-		return http.StatusTooManyRequests
-	case throttledErr(err):
-		s.rejected429.Add(1)
-		return http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	default:
+		s.writeParseError(w, err)
 	}
-	return http.StatusUnprocessableEntity
 }
 
 // session resolves the {id} path value, answering 404 for ids that are
@@ -100,23 +101,25 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req OpenSessionRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
 	sess, err := s.reg.OpenSession(e, req.Input)
 	if err != nil {
-		writeError(w, s.sessionErrorStatus(err), err)
+		s.writeSessionError(w, err)
 		return
 	}
 	// Parse the just-opened document so the client learns acceptance
 	// without a second round trip; this also warms the retained chart.
+	ctx, cancelParse := s.parseCtx(r.Context())
+	defer cancelParse()
 	start := time.Now()
-	tr := s.tracer.StartParse(sess.Grammar(), sess.EngineName(), obs.RequestID(r.Context()))
-	res, err := sess.Reparse(tr)
+	tr := s.tracer.StartParse(sess.Grammar(), sess.EngineName(), obs.RequestID(ctx))
+	res, err := sess.ReparseCtx(ctx, tr)
 	if err != nil {
 		s.finishTrace(tr, false, err)
 		s.reg.CloseSession(sess.ID())
-		writeError(w, s.sessionErrorStatus(err), err)
+		s.writeSessionError(w, err)
 		return
 	}
 	out := renderResult(e, res, false, tr, start)
@@ -130,16 +133,17 @@ func (s *Server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SessionEditRequest
-	if !readJSON(w, r, &req) {
+	if !s.readJSON(w, r, &req) {
 		return
 	}
+	ctx, cancelParse := s.parseCtx(r.Context())
+	defer cancelParse()
 	start := time.Now()
-	tr := s.tracer.StartParse(sess.Grammar(), sess.EngineName(), obs.RequestID(r.Context()))
+	tr := s.tracer.StartParse(sess.Grammar(), sess.EngineName(), obs.RequestID(ctx))
 	for i, op := range req.Splices {
 		if err := sess.Splice(op.At, op.Remove, op.Insert, tr); err != nil {
 			s.finishTrace(tr, false, err)
-			writeError(w, s.sessionErrorStatus(err),
-				fmt.Errorf("splice %d: %w", i, err))
+			s.writeSessionError(w, fmt.Errorf("splice %d: %w", i, err))
 			return
 		}
 	}
@@ -148,13 +152,13 @@ func (s *Server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
 		var res registry.Result
 		var err error
 		if req.Trees || req.Render {
-			res, err = sess.Tree(tr)
+			res, err = sess.TreeCtx(ctx, tr)
 		} else {
-			res, err = sess.Reparse(tr)
+			res, err = sess.ReparseCtx(ctx, tr)
 		}
 		if err != nil {
 			s.finishTrace(tr, false, err)
-			writeError(w, s.sessionErrorStatus(err), err)
+			s.writeSessionError(w, err)
 			return
 		}
 		pr := renderResult(sess.Entry(), res, req.Render, tr, start)
@@ -186,12 +190,14 @@ func (s *Server) handleSessionTree(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	render := r.URL.Query().Get("render") != ""
+	ctx, cancelParse := s.parseCtx(r.Context())
+	defer cancelParse()
 	start := time.Now()
-	tr := s.tracer.StartParse(sess.Grammar(), sess.EngineName(), obs.RequestID(r.Context()))
-	res, err := sess.Tree(tr)
+	tr := s.tracer.StartParse(sess.Grammar(), sess.EngineName(), obs.RequestID(ctx))
+	res, err := sess.TreeCtx(ctx, tr)
 	if err != nil {
 		s.finishTrace(tr, false, err)
-		writeError(w, s.sessionErrorStatus(err), err)
+		s.writeSessionError(w, err)
 		return
 	}
 	out := renderResult(sess.Entry(), res, render, tr, start)

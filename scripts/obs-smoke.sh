@@ -137,7 +137,21 @@ for fam in \
   ipg_session_reparses_total \
   ipg_session_full_reparses_total \
   ipg_reparse_sets_reused_total \
-  ipg_reparse_sets_rebuilt_total; do
+  ipg_reparse_sets_rebuilt_total \
+  ipg_parses_canceled_total \
+  ipg_parse_panics_total \
+  ipg_breaker_state \
+  ipg_breaker_trips_total \
+  ipg_breaker_rejected_total \
+  ipg_draining \
+  ipg_drain_rejected_total \
+  ipg_mem_budget_bytes \
+  ipg_mem_usage_bytes \
+  ipg_mem_rejected_total \
+  ipg_shed_active \
+  ipg_shed_total \
+  ipg_snapshot_retries_total \
+  ipg_fault_injections_total; do
   echo "$METRICS" | grep -q "^# TYPE $fam " || {
     echo "FAIL: /metrics missing family $fam" >&2
     exit 1
