@@ -43,6 +43,7 @@ func main() {
 	engines := flag.Bool("engines", false, "run the cross-engine comparison instead of Fig 7.1")
 	edits := flag.Bool("edits", false, "run the edit workload (incremental reparse vs from-scratch) instead of Fig 7.1")
 	churn := flag.Bool("churn", false, "run the churn workload (in-place LALR table repair vs regeneration) instead of Fig 7.1")
+	complete := flag.Bool("complete", false, "run the completion workload (accept-set queries and cursor feed/restore per backend) instead of Fig 7.1")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file (-engines mode)")
 	baseline := flag.String("baseline", "", "embed a prior -json report under \"baseline\" for before/after comparison (-engines mode)")
 	goBench := flag.String("gobench", "", "embed parsed `go test -bench -benchmem` output under \"go_bench\" (-engines mode)")
@@ -66,6 +67,14 @@ func main() {
 			log.Fatal(err)
 		}
 		printChurn(results)
+		return
+	}
+	if *complete {
+		results, err := harness.RunComplete(*dir, *repeat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printComplete(results)
 		return
 	}
 
@@ -116,6 +125,11 @@ type engineReport struct {
 	// (see harness.RunChurn). The ≥5× repair gate in internal/harness
 	// reads the committed artifact's SDF.sdf rows.
 	Churn []harness.ChurnResult `json:"churn,omitempty"`
+	// Complete is the completion workload: warm accept-set query and
+	// cursor feed/restore cost per backend and prefix depth (see
+	// harness.RunComplete). The 0-allocs/op completion gate in
+	// internal/harness reads the committed artifact's LALR and LL rows.
+	Complete []harness.CompleteResult `json:"complete,omitempty"`
 	// GoBench carries parsed `go test -bench -benchmem` rows (-gobench),
 	// so the repo-level benchmarks (BenchmarkConcurrentParse,
 	// BenchmarkEngines) ride in the same perf-trajectory artifact.
@@ -229,12 +243,20 @@ func runEngines(dir string, repeat int, jsonPath, baselinePath, goBenchPath stri
 	fmt.Println()
 	printChurn(churnResults)
 
+	completeResults, err := harness.RunComplete(dir, repeat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	printComplete(completeResults)
+
 	if jsonPath == "" {
 		return
 	}
 	report := engineReport{
 		Bench: "engines", Go: runtime.Version(), Arch: runtime.GOARCH,
 		Repeat: repeat, Results: results, Edits: editResults, Churn: churnResults,
+		Complete: completeResults,
 	}
 	if goBenchPath != "" {
 		rows, err := parseGoBench(goBenchPath)
@@ -300,6 +322,33 @@ func printChurn(results []harness.ChurnResult) {
 			r.Nonterminal, r.Affected, r.Rederived,
 			fmtDur(time.Duration(r.RepairNS)), fmtDur(time.Duration(r.RegenNS)),
 			r.Speedup, r.RepairAllocs)
+	}
+}
+
+func printComplete(results []harness.CompleteResult) {
+	fmt.Println("Completion workload — warm accept-set query and feed+restore cycle per cursor position")
+	fmt.Println("(one accept-set read per generated token is the constrained-decoding rate)")
+	fmt.Println()
+	current := ""
+	for _, r := range results {
+		key := r.Workload + "/" + r.Engine
+		if key != current {
+			current = key
+			fmt.Printf("%s %s\n", r.Workload, r.Engine)
+			fmt.Printf("  %6s %12s %14s %10s %12s %10s %12s\n",
+				"prefix", "accept", "accepts/s", "allocs/op", "feed+rest", "allocs/op", "open")
+		}
+		if r.Error != "" {
+			fmt.Printf("  %6d %s\n", r.PrefixLen, r.Error)
+			continue
+		}
+		feed := "-"
+		if r.FeedNS > 0 {
+			feed = fmtDur(time.Duration(r.FeedNS))
+		}
+		fmt.Printf("  %6d %12s %14.0f %10d %12s %10d %12s\n",
+			r.PrefixLen, fmtDur(time.Duration(r.AcceptNS)), r.AcceptsPerSec,
+			r.AcceptAllocs, feed, r.FeedAllocs, fmtDur(time.Duration(r.OpenNS)))
 	}
 }
 

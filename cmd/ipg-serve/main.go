@@ -156,6 +156,9 @@ func main() {
 	sessionMax := flag.Int("session-max", 256, "max concurrently open document sessions; excess gets 429 (0 = unlimited)")
 	sessionTokens := flag.Int("session-tokens", 1<<20, "max tokens per session document; larger gets 413 (0 = unlimited)")
 	sessionIdle := flag.Duration("session-idle", 10*time.Minute, "evict sessions untouched this long (0 = never)")
+	completeMax := flag.Int("complete-max", 1024, "max concurrently open completion cursors; excess gets 429 (0 = unlimited)")
+	completeTokens := flag.Int("complete-tokens", 1<<16, "max tokens per completion cursor; longer prefixes get 413 (0 = unlimited)")
+	completeIdle := flag.Duration("complete-idle", 5*time.Minute, "evict completion cursors untouched this long (0 = never)")
 	parseTimeout := flag.Duration("parse-timeout", 0, "abort parses running longer than this mid-drive and answer 504 (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "on SIGTERM, let in-flight requests finish this long before force-canceling them")
 	brkThreshold := flag.Int("breaker-threshold", 3, "quarantine a grammar after this many consecutive engine panics (0 = breaker off)")
@@ -208,6 +211,11 @@ func main() {
 		MaxSessions:  *sessionMax,
 		MaxDocTokens: *sessionTokens,
 		IdleTimeout:  *sessionIdle,
+	})
+	reg.SetCompletionLimits(registry.CompletionLimits{
+		MaxCursors:      *completeMax,
+		MaxPrefixTokens: *completeTokens,
+		IdleTimeout:     *completeIdle,
 	})
 	reg.SetBreakerConfig(registry.BreakerConfig{
 		Threshold: *brkThreshold,
@@ -327,9 +335,14 @@ func main() {
 		}()
 	}
 
-	if *sessionIdle > 0 {
-		// Session janitor: reclaim documents whose editor went away.
-		tick := *sessionIdle / 4
+	if *sessionIdle > 0 || *completeIdle > 0 {
+		// Janitor: reclaim documents whose editor went away and
+		// completion cursors whose decoder stopped asking.
+		shortest := *sessionIdle
+		if shortest <= 0 || (*completeIdle > 0 && *completeIdle < shortest) {
+			shortest = *completeIdle
+		}
+		tick := shortest / 4
 		if tick < time.Second {
 			tick = time.Second
 		}
@@ -344,6 +357,9 @@ func main() {
 				case <-janitor.C:
 					if n := reg.EvictIdleSessions(time.Now()); n > 0 {
 						logger.Info("evicted idle sessions", "count", n, "open", reg.SessionCount())
+					}
+					if n := reg.EvictIdleCompletions(time.Now()); n > 0 {
+						logger.Info("evicted idle completion cursors", "count", n, "open", reg.CompletionCount())
 					}
 				case <-ctx.Done():
 					return
@@ -430,6 +446,9 @@ func main() {
 		}
 		if n := reg.CloseAllSessions(); n > 0 {
 			logger.Info("closed sessions", "count", n)
+		}
+		if n := reg.CloseAllCompletions(); n > 0 {
+			logger.Info("closed completion cursors", "count", n)
 		}
 		logger.Info("drain complete")
 	}

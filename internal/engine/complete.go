@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"ipg/internal/grammar"
+)
+
+// This file is the completion capability: the constrained-decoding view
+// of a parser. After any viable prefix, a Completer answers "which
+// terminals may come next" — one accept-set query per generated token
+// is the workload, so the warm path on the table-driven backends is
+// allocation-free and a cursor advances in O(1) amortized. The paper's
+// lazy/incremental tables make the answer cheap by construction: the
+// parser is always ready at the frontier.
+
+// ErrNoComplete reports that a backend has no completion capability.
+var ErrNoComplete = errors.New("engine: backend does not support completion")
+
+// ErrCursorStale reports that the grammar moved under an open cursor
+// (a rule update, repair or regeneration); the cursor refuses every
+// further operation and the caller must reopen.
+var ErrCursorStale = errors.New("engine: completion cursor stale (grammar modified)")
+
+// ErrRejected reports that a fed token cannot extend the cursor's
+// prefix to a viable prefix. The cursor is unchanged; the caller may
+// feed a different token or Restore an earlier checkpoint.
+var ErrRejected = errors.New("engine: token not acceptable at cursor position")
+
+// ErrBadCheckpoint reports a Restore target outside [0, Pos()].
+var ErrBadCheckpoint = errors.New("engine: restore checkpoint out of range")
+
+// Vocab is the stable terminal vocabulary of one grammar version: every
+// terminal (EOF — "$" — included) sorted by name. TermSet bit indices
+// are positions in this ordering, so token-masking clients can cache
+// the vocabulary per (grammar, version) and decode bitsets without
+// names.
+type Vocab struct {
+	// Version is the grammar version the vocabulary was read at.
+	Version uint64
+	terms   []grammar.Symbol
+	names   []string
+	bit     []int32 // symbol -> bit index; -1 for non-vocab symbols
+}
+
+// NewVocab reads g's terminal vocabulary. Callers synchronize with
+// grammar mutations (cursors build their vocab at open, under the
+// engine's lock).
+func NewVocab(g *grammar.Grammar) *Vocab {
+	syms := g.Symbols()
+	v := &Vocab{
+		Version: g.Version(),
+		terms:   syms.Terminals(),
+		bit:     make([]int32, syms.Len()+1),
+	}
+	for i := range v.bit {
+		v.bit[i] = -1
+	}
+	v.names = make([]string, len(v.terms))
+	for i, t := range v.terms {
+		v.names[i] = syms.Name(t)
+		v.bit[t] = int32(i)
+	}
+	return v
+}
+
+// Len returns the vocabulary size.
+func (v *Vocab) Len() int { return len(v.terms) }
+
+// Terms returns the vocabulary terminals in bit order (do not mutate).
+func (v *Vocab) Terms() []grammar.Symbol { return v.terms }
+
+// Names returns the terminal names in bit order (do not mutate).
+func (v *Vocab) Names() []string { return v.names }
+
+// Index returns sym's bit index, or -1 when sym is not in the
+// vocabulary.
+func (v *Vocab) Index(sym grammar.Symbol) int {
+	if int(sym) < 0 || int(sym) >= len(v.bit) {
+		return -1
+	}
+	return int(v.bit[sym])
+}
+
+// TermSet is a dense terminal bitset over a Vocab. The zero value is
+// empty; Reset binds it to a vocabulary. A TermSet is reused across
+// queries — the warm path performs no allocation.
+type TermSet struct {
+	v    *Vocab
+	bits []uint64
+}
+
+// Reset empties the set and binds it to v.
+func (s *TermSet) Reset(v *Vocab) {
+	s.v = v
+	n := (v.Len() + 63) / 64
+	if cap(s.bits) < n {
+		s.bits = make([]uint64, n)
+		return
+	}
+	s.bits = s.bits[:n]
+	clear(s.bits)
+}
+
+// Vocab returns the bound vocabulary (nil before the first Reset).
+func (s *TermSet) Vocab() *Vocab { return s.v }
+
+// Add inserts sym; symbols outside the vocabulary are ignored.
+func (s *TermSet) Add(sym grammar.Symbol) {
+	if i := s.v.Index(sym); i >= 0 {
+		s.bits[i/64] |= 1 << (i % 64)
+	}
+}
+
+// Has reports membership.
+func (s *TermSet) Has(sym grammar.Symbol) bool {
+	i := s.v.Index(sym)
+	return i >= 0 && s.bits[i/64]&(1<<(i%64)) != 0
+}
+
+// Count returns the number of members.
+func (s *TermSet) Count() int {
+	n := 0
+	for _, w := range s.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AppendSyms appends the members in bit order.
+func (s *TermSet) AppendSyms(dst []grammar.Symbol) []grammar.Symbol {
+	for i, t := range s.v.terms {
+		if s.bits[i/64]&(1<<(i%64)) != 0 {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// AppendNames appends the member names in bit order.
+func (s *TermSet) AppendNames(dst []string) []string {
+	for i, name := range s.v.names {
+		if s.bits[i/64]&(1<<(i%64)) != 0 {
+			dst = append(dst, name)
+		}
+	}
+	return dst
+}
+
+// Hex encodes the bitset as lowercase hex: byte j carries bits
+// 8j..8j+7 (bit i of the vocabulary is bytes[i/8]>>(i%8)&1), and the
+// byte count is ceil(Len/8). This is the wire form token-masking
+// clients consume together with the vocabulary.
+func (s *TermSet) Hex() string {
+	nb := (s.v.Len() + 7) / 8
+	raw := make([]byte, nb)
+	for i := 0; i < s.v.Len(); i++ {
+		if s.bits[i/64]&(1<<(i%64)) != 0 {
+			raw[i/8] |= 1 << (i % 8)
+		}
+	}
+	return hex.EncodeToString(raw)
+}
+
+// Equal reports whether two sets over same-length vocabularies hold the
+// same bits.
+func (s *TermSet) Equal(o *TermSet) bool {
+	if len(s.bits) != len(o.bits) {
+		return false
+	}
+	for i := range s.bits {
+		if s.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cursor is a checkpointed completion cursor over one engine: a parse
+// frozen mid-input. Positions double as checkpoints — Restore rewinds
+// to any earlier position in O(1) without reparsing (the per-position
+// state is retained, arena-style). A Cursor is not safe for concurrent
+// use; every operation fails with ErrCursorStale once the grammar has
+// moved.
+type Cursor interface {
+	// Vocab returns the terminal vocabulary accept sets are indexed by
+	// (captured at open).
+	Vocab() *Vocab
+	// Pos returns the number of tokens fed.
+	Pos() int
+	// Accepts fills dst (Reset against Vocab) with every terminal that
+	// can extend the current prefix, EOF included when the prefix is a
+	// complete sentence.
+	Accepts(dst *TermSet) error
+	// Feed advances the cursor by one terminal; ErrRejected (cursor
+	// unchanged) when the token cannot extend the prefix.
+	Feed(t grammar.Symbol) error
+	// Checkpoint returns the current position as a restorable mark.
+	Checkpoint() int
+	// Restore rewinds to a previous checkpoint (any position in
+	// [0, Pos()]).
+	Restore(cp int) error
+	// Close releases pooled cursor state. The cursor must not be used
+	// afterwards.
+	Close()
+}
+
+// Completer is the optional completion capability; all concrete
+// backends implement it. Use CompleterOf to query an engine (it also
+// resolves auto engines to their selected backend).
+type Completer interface {
+	// OpenCursor opens a cursor at the empty prefix.
+	OpenCursor() (Cursor, error)
+}
+
+// CompleterOf returns e's completion capability, or nil when the engine
+// (or, for auto, its selected backend) has none.
+func CompleterOf(e Engine) Completer {
+	if a, ok := e.(*Auto); ok {
+		e = a.current()
+	}
+	if c, ok := e.(Completer); ok {
+		return c
+	}
+	return nil
+}
+
+// OpenCursor opens a completion cursor on e and feeds prefix (a
+// trailing end marker is tolerated and ignored). On a non-viable
+// prefix it returns the index of the first rejected token along with
+// ErrRejected; rejPos is -1 otherwise.
+func OpenCursor(e Engine, prefix []grammar.Symbol) (c Cursor, rejPos int, err error) {
+	comp := CompleterOf(e)
+	if comp == nil {
+		return nil, -1, ErrNoComplete
+	}
+	cur, err := comp.OpenCursor()
+	if err != nil {
+		return nil, -1, err
+	}
+	if pos, err := FeedAll(cur, prefix); err != nil {
+		cur.Close()
+		return nil, pos, err
+	}
+	return cur, -1, nil
+}
+
+// FeedAll feeds tokens in order (a trailing end marker is ignored),
+// returning the index of the first token that failed, or -1.
+func FeedAll(c Cursor, tokens []grammar.Symbol) (int, error) {
+	for i, t := range tokens {
+		if t == grammar.EOF && i == len(tokens)-1 {
+			break
+		}
+		if err := c.Feed(t); err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
+// Accepts is the one-shot query: the accept set after prefix, through a
+// transient cursor. On a non-viable prefix it reports the index of the
+// first rejected token with ErrRejected; rejPos is -1 otherwise.
+func Accepts(e Engine, prefix []grammar.Symbol, dst *TermSet) (rejPos int, err error) {
+	c, pos, err := OpenCursor(e, prefix)
+	if err != nil {
+		return pos, err
+	}
+	defer c.Close()
+	return -1, c.Accepts(dst)
+}
+
+// badRestore formats the uniform out-of-range Restore error.
+func badRestore(cp, pos int) error {
+	return fmt.Errorf("%w: checkpoint %d, cursor at [0,%d]", ErrBadCheckpoint, cp, pos)
+}

@@ -238,6 +238,12 @@ func (t *Table) Conflicts() []Conflict { return t.conflicts }
 // Grammar returns the table's grammar.
 func (t *Table) Grammar() *grammar.Grammar { return t.g }
 
+// Predict returns the rule the table selects for nonterminal a on
+// lookahead la, or nil when the cell is empty. This is the raw
+// prediction-row read the completion cursor simulates expansions with;
+// it performs no allocation.
+func (t *Table) Predict(a, la grammar.Symbol) *grammar.Rule { return t.m[a][la] }
+
 // ErrNotLL1 is returned by parsers generated from conflicted tables.
 var ErrNotLL1 = fmt.Errorf("ll: grammar is not LL(1)")
 

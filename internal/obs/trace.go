@@ -49,9 +49,12 @@ const (
 	// affected-state damage computation plus the in-place splice (or the
 	// full regeneration a declined repair falls back to).
 	StageRepair
+	// StageComplete is completion-cursor work: accept-set queries plus
+	// cursor feeds/restores on a prefix-completion request.
+	StageComplete
 
 	// NumStages is the number of lifecycle stages.
-	NumStages = 9
+	NumStages = 10
 )
 
 // String names the stage as used in trace JSON and logs.
@@ -75,6 +78,8 @@ func (s Stage) String() string {
 		return "reuse"
 	case StageRepair:
 		return "repair"
+	case StageComplete:
+		return "complete"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,252 @@
+// Completion endpoint: the constrained-decoding surface. One route —
+// POST /v1/grammars/{name}/complete — serves three request shapes:
+// a one-shot accept-set query (prefix + once), opening a retained
+// cursor (prefix alone), and batched operations against a retained
+// cursor (cursor id + restore/feed/candidates/close). Cursors are
+// registry.CompletionSessions: admission-gated, capped, idle-evicted.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ipg/internal/engine"
+	"ipg/internal/grammar"
+	"ipg/internal/obs"
+	"ipg/internal/registry"
+)
+
+// CompleteRequest is the POST /v1/grammars/{name}/complete body.
+// Exactly one of Prefix and Cursor must be set.
+type CompleteRequest struct {
+	// Prefix is the viable prefix to query, resolved like parse input
+	// (source text for SDF grammars, whitespace-separated terminal
+	// names otherwise). A pointer so the empty prefix — "what may a
+	// sentence start with" — is distinguishable from absent.
+	Prefix *string `json:"prefix,omitempty"`
+	// Once answers the prefix query without retaining a cursor.
+	Once bool `json:"once,omitempty"`
+	// Cursor resumes a retained cursor by id instead of shipping a
+	// prefix.
+	Cursor string `json:"cursor,omitempty"`
+	// Restore rewinds the cursor to a checkpoint (a position in
+	// [0, pos]) before feeding.
+	Restore *int `json:"restore,omitempty"`
+	// Feed advances the cursor by these tokens (resolved like parse
+	// input) after the restore.
+	Feed string `json:"feed,omitempty"`
+	// Candidates asks, for each terminal name, whether it is in the
+	// accept set — the token-masking fast path.
+	Candidates []string `json:"candidates,omitempty"`
+	// Close releases the cursor after answering.
+	Close bool `json:"close,omitempty"`
+}
+
+// CompleteResponse reports one completion operation's accept set.
+type CompleteResponse struct {
+	Grammar string `json:"grammar"`
+	Engine  string `json:"engine"`
+	// Cursor is the resumable cursor id (absent for one-shot queries).
+	Cursor string `json:"cursor,omitempty"`
+	// Pos is the cursor position — tokens fed so far.
+	Pos int `json:"pos"`
+	// Version is the grammar version the accept set was computed at.
+	Version uint64 `json:"version"`
+	// Accepts lists the terminals that may come next, in vocabulary
+	// order; Bitset is the same set as hex-encoded bytes over the
+	// vocabulary (bit i of the set is byte i/8, bit i%8).
+	Accepts []string `json:"accepts"`
+	Bitset  string   `json:"bitset"`
+	// Complete reports the prefix is a complete sentence (the end
+	// marker is accepted).
+	Complete bool `json:"complete"`
+	// Vocab is the stable terminal vocabulary bitsets are indexed by,
+	// included when a cursor is opened (cache it per grammar version).
+	Vocab []string `json:"vocab,omitempty"`
+	// Candidates answers the request's candidate probes.
+	Candidates map[string]bool `json:"candidates,omitempty"`
+	// Closed reports the cursor was released by this request.
+	Closed     bool  `json:"closed,omitempty"`
+	DurationUS int64 `json:"duration_us"`
+}
+
+// writeCompleteError maps completion failures onto HTTP statuses:
+// non-viable prefixes and rejected feeds to 422, stale cursors to 409,
+// out-of-range restores to 416, unknown cursor ids to 404, the cursor
+// cap to 429 (with Retry-After), over-long prefixes to 413 and
+// backends without the capability to 409; everything else — admission,
+// drain, quarantine — falls through to the shared parse classifier.
+func (s *Server) writeCompleteError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrRejected):
+		writeError(w, http.StatusUnprocessableEntity, err)
+	case errors.Is(err, engine.ErrCursorStale):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, engine.ErrBadCheckpoint):
+		writeError(w, http.StatusRequestedRangeNotSatisfiable, err)
+	case errors.Is(err, engine.ErrNoComplete):
+		writeError(w, http.StatusConflict, err)
+	case errors.Is(err, registry.ErrCursorLimit):
+		s.rejected429.Add(1)
+		writeErrorRetry(w, http.StatusTooManyRequests, 1, err)
+	case errors.Is(err, registry.ErrPrefixTooLong):
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+	case errors.Is(err, registry.ErrNoCursor):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		s.writeParseError(w, err)
+	}
+}
+
+// rejAt annotates a rejection with the offending token index (-1 =
+// no index known).
+func rejAt(err error, idx int) error {
+	if idx >= 0 && errors.Is(err, engine.ErrRejected) {
+		return fmt.Errorf("token %d: %w", idx, err)
+	}
+	return err
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.entry(w, r)
+	if !ok {
+		return
+	}
+	var req CompleteRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	switch {
+	case req.Cursor != "" && req.Prefix != nil:
+		writeError(w, http.StatusBadRequest, errors.New("prefix and cursor are mutually exclusive"))
+		return
+	case req.Cursor == "" && req.Prefix == nil:
+		writeError(w, http.StatusBadRequest, errors.New("request needs a prefix or a cursor id"))
+		return
+	case req.Once && req.Cursor != "":
+		writeError(w, http.StatusBadRequest, errors.New("once applies to prefix requests only"))
+		return
+	}
+	start := time.Now()
+	tr := s.tracer.StartParse(e.Name(), e.EngineKind().String(), obs.RequestID(r.Context()))
+	out, err := s.completeOp(e, &req, tr)
+	if err != nil {
+		s.finishTrace(tr, false, err)
+		s.writeCompleteError(w, err)
+		return
+	}
+	out.DurationUS = time.Since(start).Microseconds()
+	s.finishTrace(tr, true, nil)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// completeOp dispatches the three request shapes.
+func (s *Server) completeOp(e *registry.Entry, req *CompleteRequest, tr *obs.ParseTrace) (CompleteResponse, error) {
+	out := CompleteResponse{Grammar: e.Name(), Engine: e.EngineKind().String()}
+	var set engine.TermSet
+
+	if req.Cursor != "" {
+		cs, ok := s.reg.Completion(req.Cursor)
+		if !ok || cs.Entry() != e {
+			return out, fmt.Errorf("%w: %q (unknown, closed or evicted)", registry.ErrNoCursor, req.Cursor)
+		}
+		restore := -1
+		if req.Restore != nil {
+			restore = *req.Restore
+		}
+		var feed []grammar.Symbol
+		if req.Feed != "" {
+			toks, err := cs.FeedTokens(req.Feed)
+			if err != nil {
+				return out, err
+			}
+			feed = toks
+		}
+		rejIdx, err := cs.Apply(restore, feed, &set, tr)
+		if err != nil {
+			return out, rejAt(err, rejIdx)
+		}
+		out.Cursor = cs.ID()
+		out.Pos = cs.Pos()
+		out.fillAccepts(&set, req.Candidates)
+		if req.Close {
+			s.reg.CloseCompletion(cs.ID())
+			out.Closed = true
+		}
+		return out, nil
+	}
+
+	if req.Once {
+		tokens, rejPos, err := s.reg.CompleteOnce(e, *req.Prefix, &set, tr)
+		if err != nil {
+			return out, rejAt(err, rejPos)
+		}
+		out.Pos = tokens
+		out.fillAccepts(&set, req.Candidates)
+		return out, nil
+	}
+
+	cs, rejPos, err := s.reg.OpenCompletion(e, *req.Prefix, tr)
+	if err != nil {
+		return out, rejAt(err, rejPos)
+	}
+	if _, err := cs.Apply(-1, nil, &set, tr); err != nil {
+		s.reg.CloseCompletion(cs.ID())
+		return out, err
+	}
+	out.Cursor = cs.ID()
+	out.Pos = cs.Pos()
+	out.fillAccepts(&set, req.Candidates)
+	out.Vocab = set.Vocab().Names()
+	if req.Close {
+		s.reg.CloseCompletion(cs.ID())
+		out.Closed = true
+	}
+	return out, nil
+}
+
+// fillAccepts renders the accept set into the wire shape and answers
+// the candidate probes.
+func (out *CompleteResponse) fillAccepts(set *engine.TermSet, candidates []string) {
+	out.Version = set.Vocab().Version
+	out.Accepts = set.AppendNames(make([]string, 0, set.Count()))
+	out.Bitset = set.Hex()
+	out.Complete = set.Has(grammar.EOF)
+	if len(candidates) > 0 {
+		in := make(map[string]bool, len(out.Accepts))
+		for _, n := range out.Accepts {
+			in[n] = true
+		}
+		out.Candidates = make(map[string]bool, len(candidates))
+		for _, c := range candidates {
+			out.Candidates[c] = in[c]
+		}
+	}
+}
+
+func (s *Server) handleCompletionList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"completions": s.reg.CompletionStats()})
+}
+
+func (s *Server) handleCompletionStat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	cs, ok := s.reg.Completion(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("%w: %q (unknown, closed or evicted)", registry.ErrNoCursor, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, cs.Stat())
+}
+
+func (s *Server) handleCompletionClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.reg.CloseCompletion(id) {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("%w: %q (unknown, closed or evicted)", registry.ErrNoCursor, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"closed": true})
+}

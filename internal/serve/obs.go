@@ -193,6 +193,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"grammar", st.Name, "engine", st.Engine.String())
 	}
 
+	perGrammar("ipg_completions_total", obs.TypeCounter,
+		"Completion requests answered (accept-set queries and cursor operations).",
+		func(st registry.Stats) float64 { return float64(st.Completions) })
+	completeLat := p.Family("ipg_completion_latency_seconds", obs.TypeHistogram,
+		"Completion request latency per grammar (power-of-two buckets).")
+	for _, st := range stats {
+		h := st.CompleteLatency
+		completeLat.Histogram(latencyBoundsSeconds, h.Buckets[:len(latencyBoundsSeconds)],
+			h.Buckets[registry.LatencyBuckets-1], float64(h.SumUS)/1e6, h.Count,
+			"grammar", st.Name, "engine", st.Engine.String())
+	}
+
 	// Snapshot subsystem — emitted even when disabled, so scrapers can
 	// rely on the families existing.
 	snap := s.reg.SnapshotStats()
@@ -263,6 +275,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"Earley item sets reused verbatim across session reparses.").Sample(float64(sess.SetsReused))
 	p.Family("ipg_reparse_sets_rebuilt_total", obs.TypeCounter,
 		"Earley item sets re-expanded by session reparses.").Sample(float64(sess.SetsRebuilt))
+
+	// Completion cursors. Counters include closed cursors' tallies, so
+	// they stay monotone across idle eviction.
+	comp := s.reg.CompletionTotals()
+	p.Family("ipg_completion_cursors_open", obs.TypeGauge,
+		"Completion cursors currently open.").Sample(float64(comp.Open))
+	p.Family("ipg_completion_cursors_opened_total", obs.TypeCounter,
+		"Completion cursors opened.").Sample(float64(comp.Opened))
+	p.Family("ipg_completion_cursors_evicted_total", obs.TypeCounter,
+		"Completion cursors reclaimed by the idle janitor.").Sample(float64(comp.Evicted))
+	p.Family("ipg_completion_cursors_closed_total", obs.TypeCounter,
+		"Completion cursors closed explicitly or by entry removal/replacement.").Sample(float64(comp.Closed))
+	p.Family("ipg_completion_queries_total", obs.TypeCounter,
+		"Accept-set queries answered through retained cursors.").Sample(float64(comp.Queries))
+	p.Family("ipg_completion_feeds_total", obs.TypeCounter,
+		"Tokens fed into retained completion cursors.").Sample(float64(comp.Feeds))
 
 	// Trace subsystem.
 	ts := s.tracer.Stats()

@@ -63,8 +63,12 @@ func TestParseDeadlineReturns504(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Errorf("deadline abort took %v — checkpoints not firing", elapsed)
 	}
-	if msg, _ := body["error"].(string); !strings.Contains(msg, "deadline") {
+	detail, _ := body["error"].(map[string]any)
+	if msg, _ := detail["message"].(string); !strings.Contains(msg, "deadline") {
 		t.Errorf("504 body %v does not name the deadline", body)
+	}
+	if code, _ := detail["code"].(string); code != "timeout" {
+		t.Errorf("504 code = %q, want \"timeout\"", code)
 	}
 }
 

@@ -24,15 +24,35 @@
 //	POST   /v1/grammars/{name}/sessions open a document session
 //	GET    /v1/sessions                 list open sessions
 //	PATCH  /v1/sessions/{id}            splice edits into a session, reparse
-//	GET    /v1/sessions/{id}/stat       one session's reuse accounting
+//	GET    /v1/sessions/{id}            one session's reuse accounting
+//	GET    /v1/sessions/{id}/stat       alias of GET /v1/sessions/{id}
 //	GET    /v1/sessions/{id}/tree       a session's parse forest
 //	DELETE /v1/sessions/{id}            close a session
+//	POST   /v1/grammars/{name}/complete accept-set query / cursor ops
+//	GET    /v1/completions              list open completion cursors
+//	GET    /v1/completions/{id}         one cursor's accounting
+//	DELETE /v1/completions/{id}         close a completion cursor
 //
 // Document sessions hold a parsed document server-side so editors ship
 // token splices instead of whole documents; Earley-backed entries
 // reparse incrementally, reusing every item set left of the edit. Bad
 // splice offsets map to 416, unknown or evicted sessions to 404, and
 // the session-count cap to 429.
+//
+// Completion cursors answer constrained-decoding queries: "which
+// terminals may come next after this prefix". A request either ships a
+// prefix (optionally once:true for a stateless query) or resumes a
+// retained cursor by id, feeding tokens, restoring checkpoints and
+// testing candidate terminals against the accept set — served as
+// names plus a dense bitset over the grammar's stable terminal
+// vocabulary. Non-viable prefixes map to 422, stale cursors (grammar
+// modified underneath) to 409, out-of-range restores to 416, the
+// cursor cap to 429 and over-long prefixes to 413.
+//
+// Every non-2xx response carries the uniform error envelope
+// {"error": {"code", "message", "retry_after_s"?}}; codes are stable
+// strings (throttled, cursor_stale, timeout, ...) so clients dispatch
+// without matching message text.
 //
 // A registration may pick its parsing backend ("engine": glr, lalr,
 // ll, earley, or auto — which probes the grammar and records why); the
@@ -130,9 +150,14 @@ func New(reg *registry.Registry) *Server {
 	s.mux.HandleFunc("POST /v1/grammars/{name}/sessions", s.handleSessionOpen)
 	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
 	s.mux.HandleFunc("PATCH /v1/sessions/{id}", s.handleSessionEdit)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/stat", s.handleSessionStat)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStat)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stat", s.handleSessionStat) // alias, kept for older clients
 	s.mux.HandleFunc("GET /v1/sessions/{id}/tree", s.handleSessionTree)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
+	s.mux.HandleFunc("POST /v1/grammars/{name}/complete", s.handleComplete)
+	s.mux.HandleFunc("GET /v1/completions", s.handleCompletionList)
+	s.mux.HandleFunc("GET /v1/completions/{id}", s.handleCompletionStat)
+	s.mux.HandleFunc("DELETE /v1/completions/{id}", s.handleCompletionClose)
 	return s
 }
 
@@ -239,9 +264,58 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// errorBody is the uniform error envelope.
+// errorDetail is the payload of the uniform error envelope: a stable
+// machine-readable code, the human-readable message, and — on
+// retryable statuses — the Retry-After hint mirrored into the body so
+// clients need not scrape headers.
+type errorDetail struct {
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// errorBody is the uniform error envelope: every non-2xx response is
+// {"error": {"code": ..., "message": ..., "retry_after_s"?: N}}.
 type errorBody struct {
-	Error string `json:"error"`
+	Error errorDetail `json:"error"`
+}
+
+// errorCode derives the stable code for an error response. Specific
+// sentinel errors get their own codes (so clients can dispatch without
+// string matching); everything else is coded by status class.
+func errorCode(status int, err error) string {
+	switch {
+	case errors.Is(err, engine.ErrCursorStale):
+		return "cursor_stale"
+	case errors.Is(err, engine.ErrRejected):
+		return "prefix_rejected"
+	case errors.Is(err, engine.ErrBadCheckpoint):
+		return "bad_checkpoint"
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusRequestedRangeNotSatisfiable:
+		return "bad_range"
+	case http.StatusUnprocessableEntity:
+		return "invalid_input"
+	case http.StatusTooManyRequests:
+		return "throttled"
+	case statusClientClosedRequest:
+		return "client_closed"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "internal"
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -253,7 +327,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, status, errorBody{Error: errorDetail{
+		Code:    errorCode(status, err),
+		Message: err.Error(),
+	}})
+}
+
+// writeErrorRetry answers a retryable failure, setting the Retry-After
+// header and mirroring the hint into the envelope body.
+func writeErrorRetry(w http.ResponseWriter, status, retrySec int, err error) {
+	if retrySec <= 0 {
+		writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retrySec))
+	writeJSON(w, status, errorBody{Error: errorDetail{
+		Code:        errorCode(status, err),
+		Message:     err.Error(),
+		RetryAfterS: retrySec,
+	}})
 }
 
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -397,6 +489,7 @@ type EngineCaps struct {
 	Incremental bool `json:"incremental"`
 	Lazy        bool `json:"lazy"`
 	Snapshot    bool `json:"snapshot"`
+	Complete    bool `json:"complete"`
 }
 
 func capsOf(c engine.Caps) EngineCaps {
@@ -406,6 +499,7 @@ func capsOf(c engine.Caps) EngineCaps {
 		Incremental: c.Incremental,
 		Lazy:        c.Lazy,
 		Snapshot:    c.Snapshot,
+		Complete:    c.Complete,
 	}
 }
 
@@ -835,10 +929,7 @@ func (s *Server) classifyParseError(err error) (status, retryAfterSec int) {
 // Retry-After hint.
 func (s *Server) writeParseError(w http.ResponseWriter, err error) {
 	status, retry := s.classifyParseError(err)
-	if retry > 0 {
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
-	}
-	writeError(w, status, err)
+	writeErrorRetry(w, status, retry, err)
 }
 
 // BatchRequest is the POST .../batch body: many sentences fanned out

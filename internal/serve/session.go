@@ -75,8 +75,7 @@ func (s *Server) writeSessionError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusRequestEntityTooLarge, err)
 	case errors.Is(err, registry.ErrSessionLimit):
 		s.rejected429.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, err)
+		writeErrorRetry(w, http.StatusTooManyRequests, 1, err)
 	default:
 		s.writeParseError(w, err)
 	}

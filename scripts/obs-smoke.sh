@@ -99,6 +99,31 @@ curl -fsS -X POST "$BASE/v1/grammars/calclalr/rules" \
 }
 echo "ok: rule update applied on lalr backend (add+delete roundtrip)"
 
+# Open a completion cursor on a prefix, read its accept set, then feed
+# tokens through to a complete sentence: the completion lifecycle must
+# work end to end and show up in the metric families and trace stage
+# checked below.
+COMP="$(curl -fsS -X POST "$BASE/v1/grammars/calc/complete" \
+  -H 'X-Request-Id: smoke-complete' \
+  -d '{"prefix":"n +"}')"
+echo "$COMP" | grep -q '"accepts":\["' || {
+  echo "FAIL: completion open returned no accept set" >&2
+  exit 1
+}
+CID="$(echo "$COMP" | sed -n 's/.*"cursor":"\([^"]*\)".*/\1/p')"
+[ -n "$CID" ] || {
+  echo "FAIL: completion open returned no cursor id" >&2
+  exit 1
+}
+curl -fsS -X POST "$BASE/v1/grammars/calc/complete" \
+  -H 'X-Request-Id: smoke-complete-feed' \
+  -d "{\"cursor\":\"$CID\",\"feed\":\"n * n\",\"close\":true}" \
+  | grep -q '"complete":true' || {
+  echo "FAIL: completion feed did not reach a complete sentence" >&2
+  exit 1
+}
+echo "ok: completion cursor open/accepts/feed/close ($CID)"
+
 # The exposition must carry every required family.
 METRICS="$(curl -fsS "$BASE/metrics")"
 for fam in \
@@ -151,7 +176,15 @@ for fam in \
   ipg_shed_active \
   ipg_shed_total \
   ipg_snapshot_retries_total \
-  ipg_fault_injections_total; do
+  ipg_fault_injections_total \
+  ipg_completions_total \
+  ipg_completion_latency_seconds \
+  ipg_completion_cursors_open \
+  ipg_completion_cursors_opened_total \
+  ipg_completion_cursors_evicted_total \
+  ipg_completion_cursors_closed_total \
+  ipg_completion_queries_total \
+  ipg_completion_feeds_total; do
   echo "$METRICS" | grep -q "^# TYPE $fam " || {
     echo "FAIL: /metrics missing family $fam" >&2
     exit 1
@@ -215,5 +248,25 @@ echo "$TRACE" | grep -q '"repaired_states":' || {
   exit 1
 }
 echo "ok: table repair metrics + trace stage present"
+
+# The completion requests above must have produced per-grammar
+# completion series and a traced span carrying the complete stage.
+echo "$METRICS" | grep -q 'ipg_completions_total{grammar="calc"' || {
+  echo "FAIL: no per-grammar completion counter after a completion request" >&2
+  exit 1
+}
+echo "$METRICS" | grep -q '^# TYPE ipg_completion_latency_seconds histogram' || {
+  echo "FAIL: completion latency family is not a histogram" >&2
+  exit 1
+}
+echo "$TRACE" | grep -q '"request_id":"smoke-complete"' || {
+  echo "FAIL: /v1/trace has no span for the completion request" >&2
+  exit 1
+}
+echo "$TRACE" | grep -q '"complete":' || {
+  echo "FAIL: completion span missing stage complete" >&2
+  exit 1
+}
+echo "ok: completion metrics + trace stage present"
 
 echo "observability smoke passed"
